@@ -1,0 +1,324 @@
+// Benchmarks: one macro benchmark per table/figure of the paper's evaluation
+// (scaled-down ScaleTiny budgets; run the full parameterization with
+// cmd/pipa-bench), plus micro benchmarks of the substrates. See DESIGN.md's
+// experiment index for the table/figure ↔ benchmark mapping.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/defense"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/pipa"
+	"repro/internal/qgen"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// tinySetup is shared across the macro benchmarks; construction trains the
+// query generator once.
+var tinySetup = experiments.NewSetup("tpch", 1, experiments.ScaleTiny)
+
+// --- macro benchmarks: the paper's tables and figures ---
+
+// BenchmarkFig1Motivation regenerates the Fig. 1 motivating comparison.
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMotivation(tinySetup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7MainResult regenerates Fig. 7's AD boxes (one advisor at
+// bench scale; pipa-bench runs all seven).
+func BenchmarkFig7MainResult(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMainResult(tinySetup, []string{"DQN-b"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1RD regenerates the Table 1 RD rows (trial-based advisor).
+func BenchmarkTable1RD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMainResult(tinySetup, []string{"DRLindex-b"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.RD
+	}
+}
+
+// BenchmarkFig8CaseStudies regenerates the Fig. 8 learning-curve traces.
+func BenchmarkFig8CaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCaseStudies(tinySetup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Table2InjectionSize regenerates the ω sweep (two points at
+// bench scale).
+func BenchmarkFig9Table2InjectionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunInjectionSize(tinySetup, []string{"DQN-b"}, []float64{0.5, 2}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Boundaries regenerates the target-segment boundary sweep.
+func BenchmarkFig10Boundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBoundaries(tinySetup, "DQN-b", []int{3, 5}, []float64{0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11ProbingEpochs regenerates the probing-budget sweep.
+func BenchmarkFig11ProbingEpochs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunProbingEpochs(tinySetup, []string{"DQN-b"}, []int{0, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12ProbingParams regenerates the α/β parameter sweeps.
+func BenchmarkFig12ProbingParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunProbingParams(tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3GeneratorQuality regenerates the query-generator rows.
+func BenchmarkTable3GeneratorQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGeneratorQuality(tinySetup, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro benchmarks: substrates ---
+
+func benchQuery(b *testing.B) (*catalog.Schema, *cost.Model, *sql.Query) {
+	b.Helper()
+	s := catalog.TPCH(1)
+	m := cost.NewModel(s)
+	q, err := sql.ParseResolved(
+		"SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_orderdate BETWEEN 100 AND 140 AND l_quantity > 30", s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, m, q
+}
+
+func BenchmarkCostModelPlan(b *testing.B) {
+	_, m, q := benchQuery(b)
+	idx := []cost.Index{cost.NewIndex("lineitem.l_orderkey"), cost.NewIndex("orders.o_orderdate")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.QueryCost(q, idx)
+	}
+}
+
+func BenchmarkWhatIfCached(b *testing.B) {
+	s, m, q := benchQuery(b)
+	_ = s
+	w := cost.NewWhatIf(m)
+	idx := []cost.Index{cost.NewIndex("lineitem.l_orderkey")}
+	w.QueryCost(q, idx) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.QueryCost(q, idx)
+	}
+}
+
+func BenchmarkSQLParse(b *testing.B) {
+	src := "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_shipdate BETWEEN 100 AND 200 GROUP BY l_returnflag ORDER BY l_returnflag DESC LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bt := storage.NewBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(rng.Int63n(1_000_000), int32(i))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	keys := make([]int64, 1_000_000)
+	rids := make([]int32, len(keys))
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = rng.Int63n(500_000)
+		rids[i] = int32(i)
+	}
+	bt := storage.BulkLoad(keys, rids)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Search(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkDatagenTPCH(b *testing.B) {
+	s := catalog.TPCH(0.001)
+	for i := 0; i < b.N; i++ {
+		datagen.Generate(s, int64(i))
+	}
+}
+
+func BenchmarkEngineExecute(b *testing.B) {
+	db := engine.Open(catalog.TPCH(0.002), 42)
+	q, err := sql.ParseResolved("SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17", db.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := []cost.Index{cost.NewIndex("lineitem.l_partkey")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(q, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNNForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := nn.NewMLP(rng, []int{305, 64, 61}, nn.ReLU, nn.Identity)
+	x := make([]float64, 305)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	grad := make([]float64, 61)
+	grad[7] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, tape := net.ForwardTape(x)
+		net.Backward(tape, grad)
+		if i%32 == 31 {
+			net.Step(1e-3)
+		}
+	}
+}
+
+func BenchmarkIABARTGenerate(b *testing.B) {
+	s := tinySetup
+	rng := rand.New(rand.NewSource(4))
+	cols := []string{"lineitem.l_suppkey", "orders.o_orderdate"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Gen.Generate(cols, 0.5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdvisorTraining(b *testing.B) {
+	s := catalog.TPCH(1)
+	w := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, w)
+	nw := workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(5)))
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 20
+	cfg.Hidden = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia, err := registry.New("DQN-b", env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ia.Train(nw)
+	}
+}
+
+func BenchmarkProbing(b *testing.B) {
+	st := tinySetup.Tester()
+	env := tinySetup.Env
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 20
+	cfg.Hidden = 32
+	ia, err := registry.New("DQN-b", env, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := tinySetup.NormalWorkload(0)
+	ia.Train(nw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Probe(ia)
+	}
+}
+
+func BenchmarkInjecting(b *testing.B) {
+	st := tinySetup.Tester()
+	cols := tinySetup.Schema.IndexableColumnNames()
+	k := map[string]float64{}
+	for i, c := range cols {
+		k[c] = 1 / float64(i+1)
+	}
+	pref := &pipa.Preference{Ranking: cols, K: k}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tw := st.Inject(pref); tw.Len() == 0 {
+			b.Fatal("empty injection")
+		}
+	}
+}
+
+func BenchmarkQGenEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < b.N; i++ {
+		qgen.EvaluateGenerator(qgen.ST{Schema: tinySetup.Schema}, tinySetup.Schema, tinySetup.WhatIf, nil, 20, rng)
+	}
+}
+
+// BenchmarkDefenseAblation measures the sanitizer's effect: the same PIPA
+// attack against an undefended and a defense-wrapped advisor (extension
+// beyond the paper; see internal/defense).
+func BenchmarkDefenseAblation(b *testing.B) {
+	st := tinySetup.Tester()
+	for i := 0; i < b.N; i++ {
+		w := tinySetup.NormalWorkload(i)
+		plain, err := tinySetup.TrainAdvisor("DQN-b", i, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := st.StressTest(plain, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
+		inner, err := tinySetup.TrainAdvisor("DQN-b", i, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		guarded := defense.NewRobust(inner, tinySetup.WhatIf, w)
+		resDef := st.StressTest(guarded, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
+		_ = res
+		_ = resDef
+	}
+}

@@ -1,0 +1,69 @@
+// Command advisor trains one learned index advisor on a generated normal
+// workload and reports its recommendation and cost reduction — a quick way
+// to inspect the victims PIPA stress-tests.
+//
+// Example:
+//
+//	advisor -benchmark tpch -advisor SWIRL -n 18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
+	sf := flag.Float64("sf", 1, "scale factor")
+	name := flag.String("advisor", "DQN-b", "advisor name")
+	n := flag.Int("n", 0, "workload size (0 = paper default)")
+	trajectories := flag.Int("trajectories", 120, "training trajectories")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var s *catalog.Schema
+	switch *benchmark {
+	case "tpch":
+		s = catalog.TPCH(*sf)
+	case "tpcds":
+		s = catalog.TPCDS(*sf)
+	default:
+		fmt.Fprintf(os.Stderr, "advisor: unknown benchmark %q\n", *benchmark)
+		os.Exit(2)
+	}
+	w := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, w)
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = *trajectories
+	cfg.Seed = *seed
+	ia, err := registry.New(*name, env, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
+	}
+
+	size := *n
+	if size == 0 {
+		size = workload.DefaultSize(s)
+	}
+	nw := workload.GenerateNormal(s, workload.TemplatesFor(s), size, rand.New(rand.NewSource(*seed)))
+	fmt.Printf("training %s on %d queries of %s ...\n", ia.Name(), nw.Len(), s.Name)
+	ia.Train(nw)
+
+	base := w.WorkloadCost(nw.Queries, nw.Freqs, nil)
+	idx := ia.Recommend(nw)
+	c := w.WorkloadCost(nw.Queries, nw.Freqs, idx)
+	fmt.Printf("recommended (budget %d):\n", cfg.Budget)
+	for _, ix := range idx {
+		fmt.Printf("  CREATE INDEX ON %s;\n", ix.Key())
+	}
+	fmt.Printf("workload cost: %.0f -> %.0f (reduction %.1f%%)\n", base, c, 100*(1-c/base))
+}

@@ -1,0 +1,128 @@
+// Command pipa-bench regenerates any table or figure of the paper's
+// evaluation section; see DESIGN.md's experiment index for the mapping.
+//
+// Example:
+//
+//	pipa-bench -exp fig7 -benchmark tpch -sf 1
+//	pipa-bench -exp table3
+//	pipa-bench -exp all -full        # paper-scale budgets; hours
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/advisor/registry"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1, fig7, table1, fig8, fig9, table2, fig10, fig11, fig12, table3, all")
+	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
+	sf := flag.Float64("sf", 1, "scale factor")
+	full := flag.Bool("full", false, "paper-scale budgets (10 runs, 400 trajectories, P=20)")
+	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
+	flag.Parse()
+
+	scale := experiments.ScaleFast
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	setup := experiments.NewSetup(*benchmark, *sf, scale)
+	advisorList := strings.Split(*advisors, ",")
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pipa-bench:", err)
+		os.Exit(1)
+	}
+
+	if want("fig1") {
+		ran = true
+		r, err := experiments.RunMotivation(setup)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig7") || want("table1") {
+		ran = true
+		r, err := experiments.RunMainResult(setup, advisorList)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig8") {
+		ran = true
+		r, err := experiments.RunCaseStudies(setup)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig9") || want("table2") {
+		ran = true
+		omegas := []float64{0.01, 0.1, 1, 10, 100}
+		na := 180
+		if !*full {
+			na = 36
+		}
+		r, err := experiments.RunInjectionSize(setup, advisorList, omegas, na)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig10") {
+		ran = true
+		L := float64(setup.Schema.NumColumns())
+		_ = L
+		r, err := experiments.RunBoundaries(setup, "DQN-b",
+			[]int{2, 3, 4, 5, 6, 7},
+			[]float64{1.0 / 8, 1.0 / 4, 3.0 / 8, 1.0 / 2, 3.0 / 4, 7.0 / 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig11") {
+		ran = true
+		ps := []int{0, 2, 4, 8, 12, 16, 20}
+		r, err := experiments.RunProbingEpochs(setup, []string{"DQN-b", "SWIRL"}, ps)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("fig12") {
+		ran = true
+		n := float64(setup.Schema.NumColumns())
+		betas := []float64{0, 1 / (20 + n), 1 / (10 + n), 1 / (5 + n), 1 / (2 + n), 1 / (4.0/3 + n)}
+		r, err := experiments.RunProbingParams(setup, "DQN-b",
+			[]float64{0.01, 0.05, 0.1, 0.5, 1, 10}, betas)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if want("table3") {
+		ran = true
+		n := 200
+		if *full {
+			n = 1000 // the paper's N
+		}
+		r, err := experiments.RunGeneratorQuality(setup, n)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "pipa-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

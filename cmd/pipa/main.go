@@ -1,0 +1,68 @@
+// Command pipa runs one end-to-end PIPA stress test: train a learned index
+// advisor on a normal workload, probe it, inject a toxic workload, retrain,
+// and report the Absolute performance Degradation.
+//
+// Example:
+//
+//	pipa -benchmark tpch -sf 1 -advisor DQN-b -injector PIPA -runs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/pipa"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
+	sf := flag.Float64("sf", 1, "scale factor (1 or 10 match the paper's 1GB/10GB)")
+	advisorName := flag.String("advisor", "DQN-b", "victim advisor: DQN-b, DQN-m, DRLindex-b, DRLindex-m, DBAbandit-b, DBAbandit-m, SWIRL, Heuristic")
+	injector := flag.String("injector", "PIPA", "injection strategy: TP, FSM, I-R, I-L, P-C, PIPA")
+	runs := flag.Int("runs", 3, "independent runs (fresh workload + training each)")
+	full := flag.Bool("full", false, "use the paper-scale budgets (slow)")
+	verbose := flag.Bool("v", false, "print per-run details")
+	flag.Parse()
+
+	scale := experiments.ScaleFast
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	setup := experiments.NewSetup(*benchmark, *sf, scale)
+	setup.Runs = *runs
+	st := setup.Tester()
+
+	var inj pipa.Injector
+	for _, candidate := range pipa.Injectors(st) {
+		if candidate.Name() == *injector {
+			inj = candidate
+		}
+	}
+	if inj == nil {
+		fmt.Fprintf(os.Stderr, "pipa: unknown injector %q\n", *injector)
+		os.Exit(2)
+	}
+
+	var ads []float64
+	for run := 0; run < *runs; run++ {
+		w := setup.NormalWorkload(run)
+		ia, err := setup.TrainAdvisor(*advisorName, run, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipa:", err)
+			os.Exit(2)
+		}
+		res := st.StressTest(ia, inj, w, setup.PipaCfg.Na)
+		ads = append(ads, res.AD)
+		if *verbose {
+			fmt.Printf("run %d: baseline %v (cost %.0f)\n", run, res.BaselineIndexes, res.BaselineCost)
+			fmt.Printf("       poisoned %v (cost %.0f)  AD %+.3f\n", res.PoisonedIndexes, res.PoisonedCost, res.AD)
+		} else {
+			fmt.Printf("run %d: AD %+.3f\n", run, res.AD)
+		}
+	}
+	st2 := experiments.NewStats(ads)
+	fmt.Printf("\n%s vs %s on %s: mean AD %+.3f (min %+.3f, max %+.3f, std %.3f, %d runs)\n",
+		*injector, *advisorName, setup.Name, st2.Mean, st2.Min, st2.Max, st2.Std, st2.N)
+}

@@ -1,0 +1,50 @@
+// Query generation: using the IABART-style index-aware generator directly
+// (§3). Given a set of target columns and a performance threshold, it emits
+// executable SQL whose optimal index lies on those columns — the primitive
+// both PIPA stages are built from.
+//
+//	go run ./examples/query_generation
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/qgen"
+)
+
+func main() {
+	schema := catalog.TPCH(1)
+	whatIf := cost.NewWhatIf(cost.NewModel(schema))
+
+	fmt.Println("training the index-aware generator (corpus construction + progressive passes) ...")
+	gen := qgen.TrainIABART(qgen.NewFSM(schema), whatIf, nil, qgen.DefaultOptions(), 1)
+	rng := rand.New(rand.NewSource(2))
+
+	cases := []struct {
+		cols   []string
+		reward float64
+	}{
+		{[]string{"lineitem.l_partkey"}, 0.8},
+		{[]string{"orders.o_orderdate", "orders.o_custkey"}, 0.5},
+		{[]string{"customer.c_acctbal", "nation.n_name"}, 0.3},
+	}
+	for _, tc := range cases {
+		q, err := gen.Generate(tc.cols, tc.reward, rng)
+		if err != nil {
+			fmt.Printf("-- %v: %v\n\n", tc.cols, err)
+			continue
+		}
+		opt, red, _ := qgen.OptimalSingleColumn(whatIf, q)
+		fmt.Printf("-- targets %v, requested reward %.2f\n", tc.cols, tc.reward)
+		fmt.Printf("-- verified: optimal index %s, achieved reduction %.2f\n", opt, red)
+		fmt.Printf("%s;\n\n", q)
+	}
+
+	// The same generator quality measures as Table 3, on a small sample.
+	m := qgen.EvaluateGenerator(gen, schema, whatIf, nil, 50, rng)
+	fmt.Printf("generator quality on 50 random targets: GAC %.2f, IAC %.2f, RMSE %.1f, Distinct %.4f\n",
+		m.GAC, m.IAC, m.RMSE, m.Distinct)
+}

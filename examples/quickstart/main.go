@@ -1,0 +1,45 @@
+// Quickstart: train a learned index advisor on a TPC-H workload, stress-test
+// it with PIPA, and print the Absolute performance Degradation (AD).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/pipa"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. The substrate: a TPC-H schema and its what-if cost oracle.
+	schema := catalog.TPCH(1)
+	whatIf := cost.NewWhatIf(cost.NewModel(schema))
+	env := advisor.NewEnv(schema, whatIf)
+
+	// 2. A normal workload and a victim advisor, trained on it.
+	w := workload.GenerateNormal(schema, workload.TPCHTemplates(), 18, rand.New(rand.NewSource(7)))
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 120
+	victim, err := registry.New("DQN-b", env, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("training DQN-b on the normal workload ...")
+	victim.Train(w)
+
+	// 3. The PIPA stress tester: probe the advisor's indexing preference,
+	// inject a toxic workload, retrain, measure.
+	tester := pipa.NewStressTester(schema, whatIf, nil, pipa.DefaultConfig(schema))
+	fmt.Println("probing and injecting ...")
+	result := tester.StressTest(victim, pipa.PIPAInjector{Tester: tester}, w, 18)
+
+	fmt.Printf("\nbaseline indexes: %v (cost %.0f)\n", result.BaselineIndexes, result.BaselineCost)
+	fmt.Printf("poisoned indexes: %v (cost %.0f)\n", result.PoisonedIndexes, result.PoisonedCost)
+	fmt.Printf("Absolute performance Degradation: %+.3f\n", result.AD)
+}

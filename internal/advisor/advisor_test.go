@@ -1,0 +1,188 @@
+package advisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	s := catalog.TPCH(1)
+	return NewEnv(s, cost.NewWhatIf(cost.NewModel(s)))
+}
+
+func testWorkload(t *testing.T, env *Env) *workload.Workload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	return workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 12, rng)
+}
+
+func TestEnvActionSpace(t *testing.T) {
+	env := testEnv(t)
+	if env.L() != 61 {
+		t.Fatalf("L = %d, want 61", env.L())
+	}
+	for i, c := range env.Columns {
+		if env.ColIdx[c] != i {
+			t.Fatalf("ColIdx inconsistent at %d", i)
+		}
+	}
+}
+
+func TestFeaturize(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	f := env.Featurize(w)
+	if len(f) != env.L()*FeatureDim {
+		t.Fatalf("feature len = %d", len(f))
+	}
+	nonzero := 0
+	for _, v := range f {
+		if v != 0 {
+			nonzero++
+		}
+		if v < 0 {
+			t.Fatalf("negative feature %f", v)
+		}
+	}
+	if nonzero < 10 {
+		t.Errorf("only %d nonzero features", nonzero)
+	}
+	// l_shipdate appears in predicates: its appearance feature is positive.
+	ci := env.ColIdx["lineitem.l_shipdate"]
+	if f[ci*FeatureDim] <= 0 {
+		t.Error("l_shipdate appearance feature is zero")
+	}
+}
+
+func TestPresenceVectorBinary(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	p := env.PresenceVector(w)
+	ones := 0
+	for _, v := range p {
+		if v != 0 && v != 1 {
+			t.Fatalf("presence value %f", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == len(p) {
+		t.Errorf("presence vector degenerate: %d ones of %d", ones, len(p))
+	}
+}
+
+func TestCandidateFilterPrunesLowNDV(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	sarg := env.SargableMask(w)
+	cand := env.CandidateFilter(w)
+	// Filter is a subset of the sargable mask.
+	for i := range cand {
+		if cand[i] && !sarg[i] {
+			t.Fatal("candidate not sargable")
+		}
+	}
+	// l_returnflag (NDV 3) is sargable in the workload but filtered.
+	ci := env.ColIdx["lineitem.l_returnflag"]
+	if sarg[ci] && cand[ci] {
+		t.Error("low-NDV l_returnflag not pruned by candidate filter")
+	}
+}
+
+func TestEpisode(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	ep := env.NewEpisode(w, 2)
+	if ep.Done() {
+		t.Fatal("fresh episode done")
+	}
+	ci := env.ColIdx["lineitem.l_shipdate"]
+	r1 := ep.Step(ci)
+	if r1 <= 0 {
+		t.Errorf("reward for useful index = %f, want > 0", r1)
+	}
+	if got := ep.Step(ci); got != 0 {
+		t.Errorf("re-choosing column rewarded %f", got)
+	}
+	cj := env.ColIdx["lineitem.l_partkey"]
+	ep.Step(cj)
+	if !ep.Done() {
+		t.Error("episode should be done at budget 2")
+	}
+	if got := len(ep.Indexes()); got != 2 {
+		t.Errorf("indexes = %d, want 2", got)
+	}
+	if tr := ep.TotalReduction(); tr <= 0 || tr >= 1 {
+		t.Errorf("TotalReduction = %f", tr)
+	}
+}
+
+func TestEpisodeUselessIndexZeroReward(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	ep := env.NewEpisode(w, 1)
+	// region.r_comment is never predicated in TPC-H templates.
+	r := ep.Step(env.ColIdx["region.r_comment"])
+	if r != 0 {
+		t.Errorf("useless index rewarded %f", r)
+	}
+}
+
+func TestRandRemaining(t *testing.T) {
+	env := testEnv(t)
+	w := testWorkload(t, env)
+	ep := env.NewEpisode(w, env.L())
+	rng := rand.New(rand.NewSource(1))
+	mask := make([]bool, env.L())
+	mask[3] = true
+	if got := ep.RandRemaining(mask, rng); got != 3 {
+		t.Errorf("RandRemaining = %d, want 3", got)
+	}
+	ep.Step(3)
+	if got := ep.RandRemaining(mask, rng); got != -1 {
+		t.Errorf("RandRemaining after exhaustion = %d, want -1", got)
+	}
+}
+
+func TestParamAverager(t *testing.T) {
+	a := NewParamAverager(2)
+	if a.Average() != nil {
+		t.Error("empty averager should return nil")
+	}
+	a.Push([]float64{1, 2})
+	a.Push([]float64{3, 4})
+	a.Push([]float64{5, 6}) // evicts {1,2}
+	avg := a.Average()
+	if avg[0] != 4 || avg[1] != 5 {
+		t.Errorf("Average = %v, want [4 5]", avg)
+	}
+}
+
+func TestSelectTrial(t *testing.T) {
+	ixA := []cost.Index{cost.NewIndex("lineitem.l_partkey")}
+	ixB := []cost.Index{cost.NewIndex("orders.o_custkey")}
+	ixC := []cost.Index{cost.NewIndex("lineitem.l_suppkey")}
+	trials := []Trial{{0.1, ixA}, {0.9, ixB}, {0.5, ixC}}
+	if got := SelectTrial(trials, Best, 3); got[0].Key() != ixB[0].Key() {
+		t.Errorf("Best selected %v", got)
+	}
+	// Mean over last 3: mean reward 0.5 → closest is the 0.5 trial.
+	if got := SelectTrial(trials, Mean, 3); got[0].Key() != ixC[0].Key() {
+		t.Errorf("Mean selected %v", got)
+	}
+	if got := SelectTrial(nil, Best, 3); got != nil {
+		t.Errorf("empty trials = %v", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Best.String() != "b" || Mean.String() != "m" {
+		t.Error("variant suffixes wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*advisor.Env, *workload.Workload) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	env := advisor.NewEnv(s, cost.NewWhatIf(cost.NewModel(s)))
+	w := workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(3)))
+	return env, w
+}
+
+func fastCfg() advisor.Config {
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 20
+	cfg.InferTrajectories = 6
+	cfg.MeanWindow = 4
+	return cfg
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// A x = b with known solution.
+	a := [][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	want := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	for i := range a {
+		for j := range a[i] {
+			b[i] += a[i][j] * want[j]
+		}
+	}
+	got := solve(a, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %f, want %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	inv := invert(a)
+	// a × inv ≈ I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			s := 0.0
+			for k := 0; k < 2; k++ {
+				s += a[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Errorf("(A·A⁻¹)[%d][%d] = %f", i, j, s)
+			}
+		}
+	}
+}
+
+func TestQuadFormNonNegative(t *testing.T) {
+	a := identity(3, 2)
+	x := []float64{1, -2, 0.5}
+	if q := quadForm(a, x); q <= 0 {
+		t.Errorf("quadForm = %f, want > 0 for PD matrix", q)
+	}
+}
+
+func TestRidgeUpdateLearnsLinearReward(t *testing.T) {
+	// Feed contexts with reward = 2*x0 + noise: θ must recover the slope.
+	env, _ := setup(t)
+	bd := New(env, fastCfg())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := make([]float64, ctxDim)
+		x[0] = rng.Float64()
+		x[ctxDim-1] = 1
+		bd.update(x, 2*x[0]+0.01*rng.NormFloat64())
+	}
+	theta := bd.theta()
+	if math.Abs(theta[0]-2) > 0.2 {
+		t.Errorf("theta[0] = %f, want ≈ 2", theta[0])
+	}
+}
+
+func TestSuperArmDistinct(t *testing.T) {
+	env, w := setup(t)
+	bd := New(env, fastCfg())
+	bd.Train(w)
+	theta := bd.theta()
+	inv := invert(bd.a)
+	super := bd.selectSuperArm(theta, inv, true)
+	if len(super) == 0 || len(super) > fastCfg().Budget {
+		t.Fatalf("super-arm size %d", len(super))
+	}
+	seen := make(map[int]bool)
+	for _, a := range super {
+		if seen[a] {
+			t.Error("duplicate arm in super-arm")
+		}
+		seen[a] = true
+	}
+}
+
+func TestArmRebuildWidensPool(t *testing.T) {
+	env, w := setup(t)
+	bd := New(env, fastCfg())
+	bd.rebuildArms(w, false)
+	narrow := len(bd.arms)
+	bd.rebuildArms(w, true)
+	wide := len(bd.arms)
+	if wide < narrow {
+		t.Errorf("widened pool %d < filtered pool %d", wide, narrow)
+	}
+}
+
+func TestConvergesFast(t *testing.T) {
+	// The paper trains DBA-bandit with only 20 trajectories because it
+	// converges fast; verify 20 rounds suffice to beat no-index.
+	env, w := setup(t)
+	bd := New(env, fastCfg())
+	bd.Train(w)
+	idx := bd.Recommend(w)
+	base := env.WhatIf.WorkloadCost(w.Queries, w.Freqs, nil)
+	c := env.WhatIf.WorkloadCost(w.Queries, w.Freqs, idx)
+	if c >= base {
+		t.Errorf("bandit did not improve: %f >= %f", c, base)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	env, w := setup(t)
+	bd := New(env, fastCfg())
+	bd.Train(w)
+	before := bd.theta()
+	c := bd.CloneAdvisor().(*Bandit)
+	c.Retrain(w)
+	after := bd.theta()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("clone shares ridge state with original")
+		}
+	}
+}

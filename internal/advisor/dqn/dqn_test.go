@@ -1,0 +1,143 @@
+package dqn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*advisor.Env, *workload.Workload) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	env := advisor.NewEnv(s, cost.NewWhatIf(cost.NewModel(s)))
+	w := workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(3)))
+	return env, w
+}
+
+func fastCfg() advisor.Config {
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 25
+	cfg.InferTrajectories = 6
+	cfg.Hidden = 32
+	cfg.MeanWindow = 4
+	return cfg
+}
+
+func TestNameAndVariant(t *testing.T) {
+	env, _ := setup(t)
+	cfg := fastCfg()
+	if got := New(env, cfg).Name(); got != "DQN-b" {
+		t.Errorf("Name = %q", got)
+	}
+	cfg.Variant = advisor.Mean
+	if got := New(env, cfg).Name(); got != "DQN-m" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	env, w := setup(t)
+	cfg := fastCfg()
+	cfg.Budget = 2
+	d := New(env, cfg)
+	d.Train(w)
+	if idx := d.Recommend(w); len(idx) > 2 {
+		t.Errorf("recommended %d indexes, budget 2", len(idx))
+	}
+}
+
+func TestTraceHookFires(t *testing.T) {
+	env, w := setup(t)
+	cfg := fastCfg()
+	n := 0
+	cfg.Trace = func(float64) { n++ }
+	d := New(env, cfg)
+	d.Train(w)
+	if n != cfg.Trajectories {
+		t.Errorf("trace fired %d times, want %d", n, cfg.Trajectories)
+	}
+	d.Retrain(w)
+	if n != 2*cfg.Trajectories {
+		t.Errorf("trace fired %d times after retrain, want %d", n, 2*cfg.Trajectories)
+	}
+}
+
+func TestRetrainClearsReplay(t *testing.T) {
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	if len(d.replay) == 0 {
+		t.Fatal("no replay after training")
+	}
+	// Retrain restarts the buffer with fresh experience only.
+	before := len(d.replay)
+	d.Retrain(w)
+	after := len(d.replay)
+	maxNew := fastCfg().Trajectories * fastCfg().Budget
+	if after > maxNew {
+		t.Errorf("replay has %d entries after retrain, want <= %d fresh (had %d)", after, maxNew, before)
+	}
+}
+
+func TestInferenceUsesTrainingMask(t *testing.T) {
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	if d.lastMask == nil {
+		t.Fatal("no training mask recorded")
+	}
+	// Recommend on an unrelated workload must still respect the learned
+	// candidate set: all recommended lead columns are in lastMask.
+	other := workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 6, rand.New(rand.NewSource(9)))
+	for _, ix := range d.Recommend(other) {
+		ci := env.ColIdx[ix.LeadColumn()]
+		if !d.lastMask[ci] {
+			t.Errorf("recommended %s outside the training candidate set", ix.Key())
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	before := d.net.Params()
+	c := d.CloneAdvisor().(*DQN)
+	c.Retrain(w)
+	after := d.net.Params()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("retraining the clone mutated the original's parameters")
+		}
+	}
+}
+
+func TestColumnPreferencesUntrained(t *testing.T) {
+	env, _ := setup(t)
+	d := New(env, fastCfg())
+	if prefs := d.ColumnPreferences(); len(prefs) != 0 {
+		t.Errorf("untrained preferences = %d entries, want 0", len(prefs))
+	}
+}
+
+func TestRecommendDeterministicPerSeed(t *testing.T) {
+	env, w := setup(t)
+	mk := func() []cost.Index {
+		d := New(env, fastCfg())
+		d.Train(w)
+		return d.Recommend(w)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Errorf("index %d differs: %s vs %s (same seed must reproduce)", i, a[i].Key(), b[i].Key())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package drlindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*advisor.Env, *workload.Workload) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	env := advisor.NewEnv(s, cost.NewWhatIf(cost.NewModel(s)))
+	w := workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(3)))
+	return env, w
+}
+
+func fastCfg() advisor.Config {
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 25
+	cfg.InferTrajectories = 6
+	cfg.Hidden = 32
+	cfg.MeanWindow = 4
+	return cfg
+}
+
+func TestNameAndTrialBased(t *testing.T) {
+	env, _ := setup(t)
+	d := New(env, fastCfg())
+	if d.Name() != "DRLindex-b" || !d.TrialBased() {
+		t.Errorf("Name=%q TrialBased=%v", d.Name(), d.TrialBased())
+	}
+}
+
+func TestNoCandidateFiltering(t *testing.T) {
+	// DRLindex considers every column an action (§6.2: no heuristic
+	// filtering) — chooseAction with full exploration must be able to pick
+	// columns outside any sargable mask.
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	seen := make(map[int]bool)
+	ep := env.NewEpisode(w, env.L())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := ep.RandRemaining(nil, rng)
+		if a < 0 {
+			break
+		}
+		seen[a] = true
+		ep.Step(a)
+	}
+	if len(seen) < env.L()/2 {
+		t.Errorf("exploration covered only %d of %d columns", len(seen), env.L())
+	}
+}
+
+func TestInverseCostRewardSensitivity(t *testing.T) {
+	// The per-query inverse-cost reward weighs a cheap query's improvement
+	// as much as an expensive one's — the over-sensitivity of §6.2.
+	env, _ := setup(t)
+	s := env.Schema
+	cheap, err := sql.ParseResolved("SELECT * FROM region WHERE r_name = 2", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := sql.ParseResolved("SELECT COUNT(*) FROM lineitem WHERE l_partkey = 5", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.New(cheap, costly)
+	ep := env.NewEpisode(w, 2)
+	before := ep.InverseCostReduction()
+	// Index that only helps the (cheap-table-irrelevant) expensive query.
+	ep.Step(env.ColIdx["lineitem.l_partkey"])
+	after := ep.InverseCostReduction()
+	if after <= before {
+		t.Errorf("inverse-cost level did not rise: %f <= %f", after, before)
+	}
+	// Its magnitude reflects the expensive query's own relative gain, not
+	// its absolute cost share.
+	if after-before < 0.3 {
+		t.Errorf("per-query reward %.3f too small: should track relative, not absolute, gain", after-before)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	env, w := setup(t)
+	for _, v := range []advisor.Variant{advisor.Best, advisor.Mean} {
+		cfg := fastCfg()
+		cfg.Variant = v
+		d := New(env, cfg)
+		d.Train(w)
+		if idx := d.Recommend(w); len(idx) == 0 || len(idx) > cfg.Budget {
+			t.Errorf("variant %v: %d indexes", v, len(idx))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	before := d.net.Params()
+	c := d.CloneAdvisor().(*DRLindex)
+	c.Retrain(w)
+	after := d.net.Params()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("clone shares network state with original")
+		}
+	}
+}
+
+func TestPreferencesCoverAllColumns(t *testing.T) {
+	env, w := setup(t)
+	d := New(env, fastCfg())
+	d.Train(w)
+	prefs := d.ColumnPreferences()
+	if len(prefs) != env.L() {
+		t.Errorf("preferences over %d columns, want %d (no filtering)", len(prefs), env.L())
+	}
+}

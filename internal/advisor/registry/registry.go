@@ -1,0 +1,75 @@
+// Package registry constructs the paper's seven advisor variants by name:
+// DQN-b, DQN-m, DRLindex-b, DRLindex-m, DBAbandit-b, DBAbandit-m and SWIRL
+// (§6.1), plus the heuristic control. Experiments and CLI tools resolve
+// advisors through this package.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/bandit"
+	"repro/internal/advisor/dqn"
+	"repro/internal/advisor/drlindex"
+	"repro/internal/advisor/heuristic"
+	"repro/internal/advisor/swirl"
+)
+
+// PaperAdvisors lists the seven IA variants of the paper's evaluation.
+var PaperAdvisors = []string{
+	"DQN-b", "DQN-m", "DRLindex-b", "DRLindex-m",
+	"DBAbandit-b", "DBAbandit-m", "SWIRL",
+}
+
+// New builds the named advisor over the environment. The config's Variant is
+// overridden by the name's -b/-m suffix. DBA-bandit converges fast, so its
+// trajectory counts are scaled down by the same 400:20 ratio the paper uses.
+func New(name string, env *advisor.Env, cfg advisor.Config) (advisor.Advisor, error) {
+	base, variant := splitVariant(name)
+	cfg.Variant = variant
+	switch base {
+	case "DQN":
+		return dqn.New(env, cfg), nil
+	case "DRLindex":
+		// DRLindex explores the unfiltered column space; give it more
+		// trajectories to converge.
+		dcfg := cfg
+		dcfg.Trajectories = cfg.Trajectories * 2
+		return drlindex.New(env, dcfg), nil
+	case "DBAbandit":
+		bcfg := cfg
+		bcfg.Trajectories = max(20, cfg.Trajectories/20)
+		bcfg.InferTrajectories = max(5, cfg.InferTrajectories/4)
+		bcfg.MeanWindow = max(1, cfg.MeanWindow/2)
+		return bandit.New(env, bcfg), nil
+	case "SWIRL":
+		// PPO is less sample-efficient than Q-learning with replay; give
+		// SWIRL proportionally more on-policy trajectories.
+		scfg := cfg
+		scfg.Trajectories = cfg.Trajectories * 2
+		return swirl.New(env, scfg), nil
+	case "Heuristic":
+		return heuristic.New(env, cfg.Budget, true), nil
+	default:
+		return nil, fmt.Errorf("registry: unknown advisor %q", name)
+	}
+}
+
+func splitVariant(name string) (string, advisor.Variant) {
+	if len(name) > 2 && name[len(name)-2] == '-' {
+		switch name[len(name)-1] {
+		case 'b':
+			return name[:len(name)-2], advisor.Best
+		case 'm':
+			return name[:len(name)-2], advisor.Mean
+		}
+	}
+	return name, advisor.Best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

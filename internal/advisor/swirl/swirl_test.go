@@ -1,0 +1,133 @@
+package swirl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*advisor.Env, *workload.Workload) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	env := advisor.NewEnv(s, cost.NewWhatIf(cost.NewModel(s)))
+	w := workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(3)))
+	return env, w
+}
+
+func fastCfg() advisor.Config {
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 50
+	cfg.Hidden = 32
+	return cfg
+}
+
+func TestOneOff(t *testing.T) {
+	env, _ := setup(t)
+	s := New(env, fastCfg())
+	if s.TrialBased() {
+		t.Error("SWIRL must be one-off")
+	}
+	if s.Name() != "SWIRL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestRecommendDeterministicAfterTraining(t *testing.T) {
+	// One-off inference is a greedy rollout: repeated calls on the same
+	// workload must return the identical configuration.
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	a := s.Recommend(w)
+	b := s.Recommend(w)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Errorf("recommendation differs at %d: %s vs %s", i, a[i].Key(), b[i].Key())
+		}
+	}
+}
+
+func TestInvalidActionMasking(t *testing.T) {
+	// Columns never seen sargable in any training workload must never be
+	// recommended (§6.3's resistance mechanism).
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	for _, ix := range s.Recommend(w) {
+		ci := env.ColIdx[ix.LeadColumn()]
+		if !s.trainMask[ci] {
+			t.Errorf("recommended unmasked column %s", ix.Key())
+		}
+	}
+}
+
+func TestMaskGrowsOnRetrain(t *testing.T) {
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	count := func() int {
+		n := 0
+		for _, ok := range s.trainMask {
+			if ok {
+				n++
+			}
+		}
+		return n
+	}
+	before := count()
+	// Retrain on a workload touching different templates/columns.
+	other := workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 14, rand.New(rand.NewSource(77)))
+	s.Retrain(w.Merge(other))
+	if after := count(); after < before {
+		t.Errorf("mask shrank on retrain: %d -> %d", before, after)
+	}
+}
+
+func TestTrainImprovesOverUntrained(t *testing.T) {
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	base := env.WhatIf.WorkloadCost(w.Queries, w.Freqs, nil)
+	c := env.WhatIf.WorkloadCost(w.Queries, w.Freqs, s.Recommend(w))
+	if c >= base {
+		t.Errorf("trained SWIRL no better than no indexes: %f >= %f", c, base)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	before := s.actor.Params()
+	c := s.CloneAdvisor().(*SWIRL)
+	c.Retrain(w)
+	after := s.actor.Params()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("clone shares actor parameters")
+		}
+	}
+}
+
+func TestPreferencesSumToOne(t *testing.T) {
+	env, w := setup(t)
+	s := New(env, fastCfg())
+	s.Train(w)
+	total := 0.0
+	for _, p := range s.ColumnPreferences() {
+		if p < 0 {
+			t.Fatalf("negative preference %f", p)
+		}
+		total += p
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("policy preferences sum to %f, want 1", total)
+	}
+}

@@ -1,0 +1,53 @@
+package advisor
+
+import "repro/internal/cost"
+
+// Trial is one inference trial trajectory: the index configuration it
+// produced and its achieved reward (total relative cost reduction).
+type Trial struct {
+	Reward  float64
+	Indexes []cost.Index
+}
+
+// SelectTrial implements the paper's two inference variants over a set of
+// trial trajectories (§6.1): Best delivers the best trajectory; Mean reports
+// the representative of the last `window` trajectories — the trial whose
+// reward is closest to their average.
+func SelectTrial(trials []Trial, v Variant, window int) []cost.Index {
+	if len(trials) == 0 {
+		return nil
+	}
+	if v == Best {
+		best := 0
+		for i, t := range trials {
+			if t.Reward > trials[best].Reward {
+				best = i
+			}
+		}
+		return trials[best].Indexes
+	}
+	if window < 1 {
+		window = 1
+	}
+	start := len(trials) - window
+	if start < 0 {
+		start = 0
+	}
+	last := trials[start:]
+	mean := 0.0
+	for _, t := range last {
+		mean += t.Reward
+	}
+	mean /= float64(len(last))
+	bestI, bestD := 0, -1.0
+	for i, t := range last {
+		d := t.Reward - mean
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			bestI, bestD = i, d
+		}
+	}
+	return last[bestI].Indexes
+}

@@ -1,0 +1,339 @@
+// Package catalog defines database schemas and table/column statistics.
+//
+// The catalog is the only piece of user information PIPA's opaque-box
+// evaluator is allowed to see (paper §2.2): table structure, column names and
+// coarse statistics, but never the data itself. It is also the substrate the
+// cost model (internal/cost) and the synthetic data generator
+// (internal/datagen) are driven from, standing in for the PostgreSQL system
+// catalogs of the paper's testbed.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a column's logical type. The execution engine dictionary-encodes
+// every value to an int64, so Type matters only for tuple width accounting,
+// data generation, and SQL rendering.
+type Type int
+
+const (
+	TypeInt Type = iota
+	TypeFloat
+	TypeDate
+	TypeString
+	TypeChar
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "DECIMAL"
+	case TypeDate:
+		return "DATE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeChar:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Kind describes how a column's values are produced and correlated.
+type Kind int
+
+const (
+	// KindAttr is an ordinary attribute drawn from its value domain.
+	KindAttr Kind = iota
+	// KindPK is a dense sequential primary-key column (NDV == rows).
+	KindPK
+	// KindFK references another table's primary key.
+	KindFK
+)
+
+// Column describes one column: its type, storage width in bytes, and the
+// statistics the optimizer needs (distinct-value count, skew, null fraction).
+type Column struct {
+	Name  string
+	Table string // owning table name; filled in by Schema construction
+	Type  Type
+	Kind  Kind
+	Width int // average stored width in bytes
+
+	// NDVFrac is the number of distinct values as a fraction of table rows
+	// (used when NDVAbs == 0). NDVAbs is an absolute distinct count.
+	NDVFrac float64
+	NDVAbs  int64
+
+	// Skew is the zipf exponent of the value distribution; 0 means uniform.
+	Skew float64
+	// NullFrac is the fraction of NULLs.
+	NullFrac float64
+	// Corr is the physical correlation between value order and storage
+	// order, in [0, 1] — PostgreSQL's pg_stats.correlation. Date and key
+	// columns of append-ordered fact tables are near 1, which is what makes
+	// range index scans on them cheap. PK columns are implicitly 1.
+	Corr float64
+
+	// Ref names the referenced "table.column" when Kind == KindFK.
+	Ref string
+}
+
+// QualifiedName returns "table.column", the identifier used throughout PIPA
+// to name an indexable column.
+func (c *Column) QualifiedName() string { return c.Table + "." + c.Name }
+
+// NDV returns the column's distinct-value count given its table's row count.
+func (c *Column) NDV(rows int64) int64 {
+	if c.Kind == KindPK {
+		return rows
+	}
+	var ndv int64
+	if c.NDVAbs > 0 {
+		ndv = c.NDVAbs
+	} else {
+		ndv = int64(c.NDVFrac * float64(rows))
+	}
+	if ndv < 1 {
+		ndv = 1
+	}
+	if ndv > rows && rows > 0 {
+		ndv = rows
+	}
+	return ndv
+}
+
+// ForeignKey records that Column in the owning table references RefColumn of
+// RefTable. PIPA's injecting stage uses the FK graph to define the
+// "top-ranked" segment (best index plus its foreign-key closure, paper §5).
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table is a named collection of columns with a base row count at scale
+// factor 1. Scales marks whether the row count grows with the scale factor.
+type Table struct {
+	Name     string
+	BaseRows int64 // rows at SF = 1
+	Scales   bool  // true if rows scale linearly with SF
+	Columns  []*Column
+	PK       []string
+	FKs      []ForeignKey
+
+	byName map[string]*Column
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// Rows returns the table's row count at the given scale factor.
+func (t *Table) Rows(sf float64) int64 {
+	if !t.Scales || sf <= 0 {
+		return t.BaseRows
+	}
+	r := int64(float64(t.BaseRows) * sf)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// TupleWidth returns the average row width in bytes.
+func (t *Table) TupleWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.Width
+	}
+	return w
+}
+
+// Schema is a complete benchmark schema instantiated at a scale factor.
+type Schema struct {
+	Name string  // "tpch" or "tpcds"
+	SF   float64 // scale factor; 1 ~ "1GB", 10 ~ "10GB"
+
+	Tables []*Table
+
+	tables  map[string]*Table
+	columns map[string]*Column // qualified name -> column
+}
+
+// newSchema wires up lookup maps and back-references.
+func newSchema(name string, sf float64, tables []*Table) *Schema {
+	s := &Schema{
+		Name:    name,
+		SF:      sf,
+		Tables:  tables,
+		tables:  make(map[string]*Table, len(tables)),
+		columns: make(map[string]*Column),
+	}
+	for _, t := range tables {
+		t.byName = make(map[string]*Column, len(t.Columns))
+		for _, c := range t.Columns {
+			c.Table = t.Name
+			t.byName[c.Name] = c
+			s.columns[c.QualifiedName()] = c
+		}
+		s.tables[t.Name] = t
+	}
+	return s
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table { return s.tables[name] }
+
+// Column resolves a qualified "table.column" name, or an unqualified column
+// name if it is unambiguous. It returns nil when the name does not resolve.
+func (s *Schema) Column(name string) *Column {
+	if c, ok := s.columns[name]; ok {
+		return c
+	}
+	if strings.Contains(name, ".") {
+		return nil
+	}
+	var found *Column
+	for _, t := range s.Tables {
+		if c := t.Column(name); c != nil {
+			if found != nil {
+				return nil // ambiguous
+			}
+			found = c
+		}
+	}
+	return found
+}
+
+// TableOf returns the table owning the (qualified or unique unqualified)
+// column name, or nil.
+func (s *Schema) TableOf(name string) *Table {
+	c := s.Column(name)
+	if c == nil {
+		return nil
+	}
+	return s.tables[c.Table]
+}
+
+// IndexableColumns returns every column an advisor may build a single-column
+// index on, in deterministic order. All columns are indexable; the paper's
+// TPC-H instance has L = 61 such columns.
+func (s *Schema) IndexableColumns() []*Column {
+	var cols []*Column
+	for _, t := range s.Tables {
+		cols = append(cols, t.Columns...)
+	}
+	return cols
+}
+
+// IndexableColumnNames returns the qualified names of IndexableColumns.
+func (s *Schema) IndexableColumnNames() []string {
+	cols := s.IndexableColumns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.QualifiedName()
+	}
+	return names
+}
+
+// NumColumns returns the total number of indexable columns L.
+func (s *Schema) NumColumns() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// FKClosure returns the set of columns related to the given qualified column
+// through foreign-key edges in either direction, including the column itself.
+// The paper's injecting stage treats "the best index and its foreign keys" as
+// the top-ranked segment to exclude (§5, §6.4): e.g. lineitem.l_partkey ↔
+// partsupp.ps_partkey ↔ part.p_partkey.
+func (s *Schema) FKClosure(qualified string) []string {
+	start := s.Column(qualified)
+	if start == nil {
+		return nil
+	}
+	// Build an undirected adjacency over FK edges once per call; schemas are
+	// small so this is cheap and keeps Schema immutable.
+	adj := make(map[string][]string)
+	addEdge := func(a, b string) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, t := range s.Tables {
+		for _, fk := range t.FKs {
+			from := t.Name + "." + fk.Column
+			to := fk.RefTable + "." + fk.RefColumn
+			addEdge(from, to)
+		}
+	}
+	seen := map[string]bool{start.QualifiedName(): true}
+	queue := []string{start.QualifiedName()}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nxt := range adj[cur] {
+			if !seen[nxt] {
+				seen[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks internal consistency: FK targets exist, PK columns exist,
+// widths and stats are sane. Schemas are constructed from hand-written
+// literals, so this guards against typos.
+func (s *Schema) Validate() error {
+	for _, t := range s.Tables {
+		if t.BaseRows <= 0 {
+			return fmt.Errorf("table %s: non-positive base rows %d", t.Name, t.BaseRows)
+		}
+		for _, pk := range t.PK {
+			if t.Column(pk) == nil {
+				return fmt.Errorf("table %s: PK column %s missing", t.Name, pk)
+			}
+		}
+		for _, fk := range t.FKs {
+			if t.Column(fk.Column) == nil {
+				return fmt.Errorf("table %s: FK column %s missing", t.Name, fk.Column)
+			}
+			rt := s.Table(fk.RefTable)
+			if rt == nil {
+				return fmt.Errorf("table %s: FK references missing table %s", t.Name, fk.RefTable)
+			}
+			if rt.Column(fk.RefColumn) == nil {
+				return fmt.Errorf("table %s: FK references missing column %s.%s", t.Name, fk.RefTable, fk.RefColumn)
+			}
+		}
+		for _, c := range t.Columns {
+			if c.Width <= 0 {
+				return fmt.Errorf("column %s: non-positive width", c.QualifiedName())
+			}
+			if c.NDVFrac < 0 || c.NDVFrac > 1 {
+				return fmt.Errorf("column %s: NDVFrac %f out of range", c.QualifiedName(), c.NDVFrac)
+			}
+			if c.NullFrac < 0 || c.NullFrac >= 1 {
+				return fmt.Errorf("column %s: NullFrac %f out of range", c.QualifiedName(), c.NullFrac)
+			}
+			if c.Kind == KindFK && s.Column(c.Ref) == nil {
+				return fmt.Errorf("column %s: dangling FK ref %q", c.QualifiedName(), c.Ref)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTPCHValid(t *testing.T) {
+	s := TPCH(1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("TPCH schema invalid: %v", err)
+	}
+}
+
+func TestTPCDSValid(t *testing.T) {
+	s := TPCDS(1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("TPCDS schema invalid: %v", err)
+	}
+}
+
+func TestColumnCounts(t *testing.T) {
+	tests := []struct {
+		name   string
+		schema *Schema
+		tables int
+		cols   int
+	}{
+		{"tpch", TPCH(1), 8, 61},
+		{"tpcds", TPCDS(1), 24, 425},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(tt.schema.Tables); got != tt.tables {
+				t.Errorf("tables = %d, want %d", got, tt.tables)
+			}
+			if got := tt.schema.NumColumns(); got != tt.cols {
+				t.Errorf("columns = %d, want %d", got, tt.cols)
+			}
+			if got := len(tt.schema.IndexableColumns()); got != tt.cols {
+				t.Errorf("indexable columns = %d, want %d", got, tt.cols)
+			}
+		})
+	}
+}
+
+func TestRowScaling(t *testing.T) {
+	s1, s10 := TPCH(1), TPCH(10)
+	li1 := s1.Table("lineitem").Rows(s1.SF)
+	li10 := s10.Table("lineitem").Rows(s10.SF)
+	if li10 != 10*li1 {
+		t.Errorf("lineitem rows: SF10 = %d, want 10 × SF1 (%d)", li10, li1)
+	}
+	// region and nation are fixed-size per the TPC-H spec.
+	if got := s10.Table("region").Rows(10); got != 5 {
+		t.Errorf("region rows at SF10 = %d, want 5", got)
+	}
+	if got := s10.Table("nation").Rows(10); got != 25 {
+		t.Errorf("nation rows at SF10 = %d, want 25", got)
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	s := TPCH(1)
+	tests := []struct {
+		name string
+		want string // owning table, "" if lookup should fail
+	}{
+		{"lineitem.l_partkey", "lineitem"},
+		{"l_partkey", "lineitem"}, // unambiguous unqualified
+		{"orders.o_custkey", "orders"},
+		{"lineitem.nope", ""},
+		{"nosuch.table", ""},
+	}
+	for _, tt := range tests {
+		c := s.Column(tt.name)
+		switch {
+		case tt.want == "" && c != nil:
+			t.Errorf("Column(%q) = %v, want nil", tt.name, c.QualifiedName())
+		case tt.want != "" && c == nil:
+			t.Errorf("Column(%q) = nil, want table %s", tt.name, tt.want)
+		case tt.want != "" && c.Table != tt.want:
+			t.Errorf("Column(%q).Table = %s, want %s", tt.name, c.Table, tt.want)
+		}
+	}
+}
+
+func TestNDV(t *testing.T) {
+	s := TPCH(1)
+	li := s.Table("lineitem")
+	rows := li.Rows(1)
+	tests := []struct {
+		col  string
+		want int64
+	}{
+		{"l_returnflag", 3},
+		{"l_shipmode", 7},
+		{"l_shipdate", 2526},
+		{"l_quantity", 50},
+	}
+	for _, tt := range tests {
+		if got := li.Column(tt.col).NDV(rows); got != tt.want {
+			t.Errorf("NDV(%s) = %d, want %d", tt.col, got, tt.want)
+		}
+	}
+	// PK NDV equals row count.
+	ord := s.Table("orders")
+	if got := ord.Column("o_orderkey").NDV(ord.Rows(1)); got != ord.Rows(1) {
+		t.Errorf("PK NDV = %d, want %d", got, ord.Rows(1))
+	}
+}
+
+func TestNDVNeverExceedsRows(t *testing.T) {
+	// Property: for every column in both schemas and any positive row count,
+	// 1 <= NDV <= rows.
+	schemas := []*Schema{TPCH(1), TPCDS(1)}
+	for _, s := range schemas {
+		for _, tbl := range s.Tables {
+			rows := tbl.Rows(s.SF)
+			for _, c := range tbl.Columns {
+				ndv := c.NDV(rows)
+				if ndv < 1 || ndv > rows {
+					t.Errorf("%s: NDV = %d out of [1, %d]", c.QualifiedName(), ndv, rows)
+				}
+			}
+		}
+	}
+}
+
+func TestNDVBoundsProperty(t *testing.T) {
+	c := &Column{Name: "x", Type: TypeInt, Width: 4, NDVFrac: 0.3}
+	f := func(rows int64) bool {
+		if rows <= 0 {
+			rows = -rows + 1
+		}
+		ndv := c.NDV(rows)
+		return ndv >= 1 && ndv <= rows
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFKClosure(t *testing.T) {
+	s := TPCH(1)
+	// The paper's §6.4 example: l_partkey's FK closure contains ps_partkey
+	// and p_partkey.
+	got := s.FKClosure("lineitem.l_partkey")
+	want := []string{"lineitem.l_partkey", "part.p_partkey", "partsupp.ps_partkey"}
+	if len(got) != len(want) {
+		t.Fatalf("FKClosure(l_partkey) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FKClosure[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// A column without FK edges is its own closure.
+	solo := s.FKClosure("lineitem.l_quantity")
+	if len(solo) != 1 || solo[0] != "lineitem.l_quantity" {
+		t.Errorf("FKClosure(l_quantity) = %v, want itself only", solo)
+	}
+	// Unknown column yields nil.
+	if got := s.FKClosure("bogus.col"); got != nil {
+		t.Errorf("FKClosure(bogus) = %v, want nil", got)
+	}
+}
+
+func TestFKClosureMultiHop(t *testing.T) {
+	s := TPCH(1)
+	// o_orderkey ↔ l_orderkey share an FK edge.
+	got := s.FKClosure("orders.o_orderkey")
+	found := false
+	for _, c := range got {
+		if c == "lineitem.l_orderkey" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("FKClosure(o_orderkey) = %v, missing lineitem.l_orderkey", got)
+	}
+}
+
+func TestQualifiedNames(t *testing.T) {
+	s := TPCDS(1)
+	names := s.IndexableColumnNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate qualified column name %q", n)
+		}
+		seen[n] = true
+		if !strings.Contains(n, ".") {
+			t.Errorf("unqualified name %q", n)
+		}
+	}
+}
+
+func TestTupleWidthPositive(t *testing.T) {
+	for _, s := range []*Schema{TPCH(1), TPCDS(1)} {
+		for _, tbl := range s.Tables {
+			if w := tbl.TupleWidth(); w <= 0 {
+				t.Errorf("%s.%s: tuple width %d", s.Name, tbl.Name, w)
+			}
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeInt, "INTEGER"},
+		{TypeFloat, "DECIMAL"},
+		{TypeDate, "DATE"},
+		{TypeString, "VARCHAR"},
+		{TypeChar, "CHAR"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", int(tt.typ), got, tt.want)
+		}
+	}
+}
+
+func TestTableOf(t *testing.T) {
+	s := TPCH(1)
+	if tbl := s.TableOf("lineitem.l_partkey"); tbl == nil || tbl.Name != "lineitem" {
+		t.Errorf("TableOf(l_partkey) = %v", tbl)
+	}
+	if tbl := s.TableOf("no.col"); tbl != nil {
+		t.Errorf("TableOf(no.col) = %v, want nil", tbl)
+	}
+}

@@ -1,0 +1,167 @@
+package catalog
+
+// Column literal helpers. They keep the hand-written schema definitions
+// compact and uniform; see tpch.go and tpcds.go for usage.
+
+// pkCol builds a dense sequential primary-key column.
+func pkCol(name string, width int) *Column {
+	return &Column{Name: name, Type: TypeInt, Kind: KindPK, Width: width}
+}
+
+// fkCol builds a foreign-key column referencing "table.column".
+func fkCol(name, ref string) *Column {
+	return &Column{Name: name, Type: TypeInt, Kind: KindFK, Width: 4, Ref: ref}
+}
+
+// attrAbs builds an attribute column with an absolute distinct-value count.
+func attrAbs(name string, typ Type, width int, ndv int64) *Column {
+	return &Column{Name: name, Type: typ, Kind: KindAttr, Width: width, NDVAbs: ndv}
+}
+
+// attrFrac builds an attribute column whose distinct count is a fraction of
+// the table's rows (so it scales with SF).
+func attrFrac(name string, typ Type, width int, frac float64) *Column {
+	return &Column{Name: name, Type: typ, Kind: KindAttr, Width: width, NDVFrac: frac}
+}
+
+// skewed marks a column's value distribution as zipfian with exponent s.
+func skewed(c *Column, s float64) *Column { c.Skew = s; return c }
+
+// nullable sets a column's null fraction.
+func nullable(c *Column, f float64) *Column { c.NullFrac = f; return c }
+
+// correlated sets a column's physical correlation (storage order ≈ value
+// order), as for append-ordered date and key columns.
+func correlated(c *Column, corr float64) *Column { c.Corr = corr; return c }
+
+// TPCH builds the TPC-H schema at the given scale factor (1 ≈ "1GB",
+// 10 ≈ "10GB" in the paper's terminology). The schema has 8 tables and 61
+// indexable columns, matching L = 61 reported for TPC-H 10GB in §6.4.
+// Row counts and distinct-value counts follow the TPC-H specification.
+func TPCH(sf float64) *Schema {
+	region := &Table{
+		Name: "region", BaseRows: 5, Scales: false,
+		PK: []string{"r_regionkey"},
+		Columns: []*Column{
+			pkCol("r_regionkey", 4),
+			attrAbs("r_name", TypeChar, 7, 5),
+			attrAbs("r_comment", TypeString, 66, 5),
+		},
+	}
+	nation := &Table{
+		Name: "nation", BaseRows: 25, Scales: false,
+		PK:  []string{"n_nationkey"},
+		FKs: []ForeignKey{{"n_regionkey", "region", "r_regionkey"}},
+		Columns: []*Column{
+			pkCol("n_nationkey", 4),
+			attrAbs("n_name", TypeChar, 12, 25),
+			fkCol("n_regionkey", "region.r_regionkey"),
+			attrAbs("n_comment", TypeString, 75, 25),
+		},
+	}
+	supplier := &Table{
+		Name: "supplier", BaseRows: 10_000, Scales: true,
+		PK:  []string{"s_suppkey"},
+		FKs: []ForeignKey{{"s_nationkey", "nation", "n_nationkey"}},
+		Columns: []*Column{
+			pkCol("s_suppkey", 4),
+			attrFrac("s_name", TypeChar, 18, 1.0),
+			attrFrac("s_address", TypeString, 25, 1.0),
+			fkCol("s_nationkey", "nation.n_nationkey"),
+			attrFrac("s_phone", TypeChar, 15, 1.0),
+			attrFrac("s_acctbal", TypeFloat, 8, 0.95),
+			attrFrac("s_comment", TypeString, 63, 1.0),
+		},
+	}
+	customer := &Table{
+		Name: "customer", BaseRows: 150_000, Scales: true,
+		PK:  []string{"c_custkey"},
+		FKs: []ForeignKey{{"c_nationkey", "nation", "n_nationkey"}},
+		Columns: []*Column{
+			pkCol("c_custkey", 4),
+			attrFrac("c_name", TypeString, 18, 1.0),
+			attrFrac("c_address", TypeString, 25, 1.0),
+			fkCol("c_nationkey", "nation.n_nationkey"),
+			attrFrac("c_phone", TypeChar, 15, 1.0),
+			attrFrac("c_acctbal", TypeFloat, 8, 0.9),
+			attrAbs("c_mktsegment", TypeChar, 10, 5),
+			attrFrac("c_comment", TypeString, 73, 1.0),
+		},
+	}
+	part := &Table{
+		Name: "part", BaseRows: 200_000, Scales: true,
+		PK: []string{"p_partkey"},
+		Columns: []*Column{
+			pkCol("p_partkey", 4),
+			attrFrac("p_name", TypeString, 33, 0.99),
+			attrAbs("p_mfgr", TypeChar, 25, 5),
+			attrAbs("p_brand", TypeChar, 10, 25),
+			attrAbs("p_type", TypeString, 21, 150),
+			attrAbs("p_size", TypeInt, 4, 50),
+			attrAbs("p_container", TypeChar, 10, 40),
+			attrAbs("p_retailprice", TypeFloat, 8, 100_000),
+			attrFrac("p_comment", TypeString, 14, 0.7),
+		},
+	}
+	partsupp := &Table{
+		Name: "partsupp", BaseRows: 800_000, Scales: true,
+		PK: []string{"ps_partkey", "ps_suppkey"},
+		FKs: []ForeignKey{
+			{"ps_partkey", "part", "p_partkey"},
+			{"ps_suppkey", "supplier", "s_suppkey"},
+		},
+		Columns: []*Column{
+			correlated(fkCol("ps_partkey", "part.p_partkey"), 1.0),
+			fkCol("ps_suppkey", "supplier.s_suppkey"),
+			attrAbs("ps_availqty", TypeInt, 4, 9_999),
+			attrAbs("ps_supplycost", TypeFloat, 8, 99_901),
+			attrFrac("ps_comment", TypeString, 124, 0.95),
+		},
+	}
+	orders := &Table{
+		Name: "orders", BaseRows: 1_500_000, Scales: true,
+		PK:  []string{"o_orderkey"},
+		FKs: []ForeignKey{{"o_custkey", "customer", "c_custkey"}},
+		Columns: []*Column{
+			pkCol("o_orderkey", 4),
+			fkCol("o_custkey", "customer.c_custkey"),
+			attrAbs("o_orderstatus", TypeChar, 1, 3),
+			attrFrac("o_totalprice", TypeFloat, 8, 0.95),
+			correlated(attrAbs("o_orderdate", TypeDate, 4, 2_406), 0.95),
+			attrAbs("o_orderpriority", TypeChar, 15, 5),
+			attrFrac("o_clerk", TypeChar, 15, 0.000667),
+			attrAbs("o_shippriority", TypeInt, 4, 1),
+			attrFrac("o_comment", TypeString, 49, 0.9),
+		},
+	}
+	lineitem := &Table{
+		Name: "lineitem", BaseRows: 6_000_000, Scales: true,
+		PK: []string{"l_orderkey", "l_linenumber"},
+		FKs: []ForeignKey{
+			{"l_orderkey", "orders", "o_orderkey"},
+			{"l_partkey", "part", "p_partkey"},
+			{"l_suppkey", "supplier", "s_suppkey"},
+		},
+		Columns: []*Column{
+			correlated(fkCol("l_orderkey", "orders.o_orderkey"), 1.0),
+			fkCol("l_partkey", "part.p_partkey"),
+			fkCol("l_suppkey", "supplier.s_suppkey"),
+			attrAbs("l_linenumber", TypeInt, 4, 7),
+			attrAbs("l_quantity", TypeFloat, 8, 50),
+			attrFrac("l_extendedprice", TypeFloat, 8, 0.15),
+			attrAbs("l_discount", TypeFloat, 8, 11),
+			attrAbs("l_tax", TypeFloat, 8, 9),
+			attrAbs("l_returnflag", TypeChar, 1, 3),
+			attrAbs("l_linestatus", TypeChar, 1, 2),
+			correlated(attrAbs("l_shipdate", TypeDate, 4, 2_526), 0.9),
+			correlated(attrAbs("l_commitdate", TypeDate, 4, 2_466), 0.85),
+			correlated(attrAbs("l_receiptdate", TypeDate, 4, 2_554), 0.9),
+			attrAbs("l_shipinstruct", TypeChar, 25, 4),
+			attrAbs("l_shipmode", TypeChar, 10, 7),
+			attrFrac("l_comment", TypeString, 27, 0.75),
+		},
+	}
+	return newSchema("tpch", sf, []*Table{
+		region, nation, supplier, customer, part, partsupp, orders, lineitem,
+	})
+}

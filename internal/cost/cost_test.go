@@ -1,0 +1,412 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+func tpch(t *testing.T) *catalog.Schema {
+	t.Helper()
+	return catalog.TPCH(1)
+}
+
+func parse(t *testing.T, s *catalog.Schema, src string) *sql.Query {
+	t.Helper()
+	q, err := sql.ParseResolved(src, s)
+	if err != nil {
+		t.Fatalf("ParseResolved(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestIndexKey(t *testing.T) {
+	ix := NewIndex("lineitem.l_partkey", "lineitem.l_suppkey")
+	if got, want := ix.Key(), "lineitem(l_partkey,l_suppkey)"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+	if ix.Table() != "lineitem" {
+		t.Errorf("Table() = %q", ix.Table())
+	}
+	if ix.LeadColumn() != "lineitem.l_partkey" {
+		t.Errorf("LeadColumn() = %q", ix.LeadColumn())
+	}
+}
+
+func TestNewIndexPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		cols []string
+	}{
+		{"empty", nil},
+		{"unqualified", []string{"l_partkey"}},
+		{"cross table", []string{"lineitem.l_partkey", "orders.o_custkey"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewIndex did not panic")
+				}
+			}()
+			NewIndex(tt.cols...)
+		})
+	}
+}
+
+func TestIndexSet(t *testing.T) {
+	a := NewIndex("lineitem.l_partkey")
+	b := NewIndex("orders.o_custkey")
+	s := NewIndexSet(a, b, a) // dup a
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(a) || !s.Contains(b) {
+		t.Error("missing members")
+	}
+	if !s.Remove(a) || s.Contains(a) {
+		t.Error("Remove failed")
+	}
+	if s.Remove(a) {
+		t.Error("double Remove reported true")
+	}
+	if s.Add(a) != true || s.Len() != 2 {
+		t.Error("re-Add failed")
+	}
+	clone := s.Clone()
+	clone.Remove(b)
+	if !s.Contains(b) {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestSelectiveIndexHelps(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 12345")
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey")})
+	if withIx >= base {
+		t.Errorf("selective index did not help: %f >= %f", withIx, base)
+	}
+	if base/withIx < 10 {
+		t.Errorf("expected order-of-magnitude speedup, got %.2fx", base/withIx)
+	}
+}
+
+func TestUnselectivePredicateIgnoresIndex(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	// l_returnflag has NDV 3: an eq predicate selects ~1/3 of 6M rows, so
+	// random heap fetches cost far more than a seq scan. SELECT * prevents a
+	// covering index-only scan.
+	q := parse(t, s, "SELECT * FROM lineitem WHERE l_returnflag = 1")
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("lineitem.l_returnflag")})
+	if withIx != base {
+		t.Errorf("optimizer used an unprofitable index: %f != %f", withIx, base)
+	}
+}
+
+func TestIrrelevantIndexNoEffect(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 42")
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("orders.o_custkey")})
+	if withIx != base {
+		t.Errorf("irrelevant index changed cost: %f != %f", withIx, base)
+	}
+}
+
+func TestPrefixMatching(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT * FROM lineitem WHERE l_suppkey = 7")
+	base := m.QueryCost(q, nil)
+	// Index whose first column is not predicated is unusable for filtering.
+	wrongPrefix := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey", "lineitem.l_suppkey")})
+	if wrongPrefix != base {
+		t.Errorf("non-prefix index was used: %f != %f", wrongPrefix, base)
+	}
+	rightPrefix := m.QueryCost(q, []Index{NewIndex("lineitem.l_suppkey", "lineitem.l_partkey")})
+	if rightPrefix >= base {
+		t.Errorf("prefix index did not help: %f >= %f", rightPrefix, base)
+	}
+}
+
+func TestMultiColumnBeatsSingleOnConjunction(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 10 AND l_suppkey = 3")
+	single := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey")})
+	multi := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey", "lineitem.l_suppkey")})
+	if multi >= single {
+		t.Errorf("two-column index should beat single: %f >= %f", multi, single)
+	}
+}
+
+func TestCoveringIndexCheaper(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT l_suppkey FROM lineitem WHERE l_partkey BETWEEN 100 AND 5000")
+	nonCovering := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey")})
+	covering := m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey", "lineitem.l_suppkey")})
+	if covering >= nonCovering {
+		t.Errorf("covering index should be cheaper: %f >= %f", covering, nonCovering)
+	}
+}
+
+func TestRangePredicateEndsPrefix(t *testing.T) {
+	s := tpch(t)
+	// Range on first column means the second column cannot be matched.
+	preds := []sql.Predicate{
+		{Column: "lineitem.l_partkey", Op: sql.OpLt, Value: 1000},
+		{Column: "lineitem.l_suppkey", Op: sql.OpEq, Value: 5},
+	}
+	ix := NewIndex("lineitem.l_partkey", "lineitem.l_suppkey")
+	matched, _ := matchPrefix(s, ix, preds)
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1 (range stops prefix)", matched)
+	}
+	// Eq on first allows the range on second to match too.
+	preds[0].Op = sql.OpEq
+	matched, _ = matchPrefix(s, ix, preds)
+	if matched != 2 {
+		t.Errorf("matched = %d, want 2", matched)
+	}
+}
+
+func TestJoinIndexNL(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	// Highly filtered orders probe lineitem by l_orderkey: an index on the
+	// join key should switch the plan to index nested loop and cut cost.
+	q := parse(t, s, "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_custkey = 77")
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("lineitem.l_orderkey")})
+	if withIx >= base {
+		t.Errorf("join index did not help: %f >= %f", withIx, base)
+	}
+	p, err := m.Plan(q, []Index{NewIndex("lineitem.l_orderkey")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range p.Joins {
+		if j.Method == JoinIndexNL {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an IndexNL join in plan: %+v", p.Joins)
+	}
+}
+
+func TestOrderByLimitUsesIndex(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT o_orderkey FROM orders ORDER BY o_orderdate DESC LIMIT 10")
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("orders.o_orderdate")})
+	if withIx >= base {
+		t.Errorf("order-providing index did not help: %f >= %f", withIx, base)
+	}
+}
+
+func TestMoreIndexesNeverHurt(t *testing.T) {
+	// Property: the optimizer picks min-cost paths, so adding indexes can
+	// never increase estimated cost.
+	s := tpch(t)
+	m := NewModel(s)
+	rng := rand.New(rand.NewSource(7))
+	cols := s.IndexableColumnNames()
+	queries := []string{
+		"SELECT COUNT(*) FROM lineitem WHERE l_partkey = 5 AND l_quantity > 30",
+		"SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_orderdate BETWEEN 100 AND 120",
+		"SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem WHERE l_shipdate <= 500 GROUP BY l_suppkey",
+		"SELECT * FROM customer WHERE c_mktsegment = 2 ORDER BY c_acctbal LIMIT 5",
+	}
+	for _, src := range queries {
+		q := parse(t, s, src)
+		prev := m.QueryCost(q, nil)
+		var indexes []Index
+		for i := 0; i < 20; i++ {
+			indexes = append(indexes, NewIndex(cols[rng.Intn(len(cols))]))
+			c := m.QueryCost(q, indexes)
+			if c > prev+1e-9 {
+				t.Fatalf("%s: cost increased after adding index %s: %f > %f",
+					src, indexes[len(indexes)-1].Key(), c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestCostPositive(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	queries := []string{
+		"SELECT * FROM region",
+		"SELECT COUNT(*) FROM lineitem",
+		"SELECT * FROM nation, region WHERE n_regionkey = r_regionkey",
+	}
+	for _, src := range queries {
+		q := parse(t, s, src)
+		if c := m.QueryCost(q, nil); c <= 0 {
+			t.Errorf("QueryCost(%q) = %f, want > 0", src, c)
+		}
+	}
+}
+
+func TestWorkloadCostFrequencies(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT COUNT(*) FROM orders")
+	single := m.WorkloadCost([]*sql.Query{q}, nil, nil)
+	tripled := m.WorkloadCost([]*sql.Query{q}, []float64{3}, nil)
+	if tripled != 3*single {
+		t.Errorf("frequency weighting broken: %f != 3 × %f", tripled, single)
+	}
+}
+
+func TestWhatIfCacheConsistent(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	w := NewWhatIf(m)
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 9")
+	ix := []Index{NewIndex("lineitem.l_partkey")}
+	direct := m.QueryCost(q, ix)
+	if got := w.QueryCost(q, ix); got != direct {
+		t.Errorf("cache miss result %f != direct %f", got, direct)
+	}
+	if got := w.QueryCost(q, ix); got != direct {
+		t.Errorf("cache hit result %f != direct %f", got, direct)
+	}
+	calls, hits := w.Stats()
+	if calls != 2 || hits != 1 {
+		t.Errorf("Stats = (%d, %d), want (2, 1)", calls, hits)
+	}
+}
+
+func TestWhatIfReduction(t *testing.T) {
+	s := tpch(t)
+	w := NewWhatIf(NewModel(s))
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 5")
+	red := w.Reduction([]*sql.Query{q}, nil, []Index{NewIndex("lineitem.l_partkey")})
+	if red <= 0 || red >= 1 {
+		t.Errorf("Reduction = %f, want in (0, 1)", red)
+	}
+	if r0 := w.Reduction([]*sql.Query{q}, nil, nil); r0 != 0 {
+		t.Errorf("Reduction with no index = %f, want 0", r0)
+	}
+}
+
+func TestScaleFactorIncreasesCost(t *testing.T) {
+	q1 := sql.MustParse("SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10")
+	s1, s10 := catalog.TPCH(1), catalog.TPCH(10)
+	if err := sql.Resolve(q1, s1); err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewModel(s1).QueryCost(q1, nil)
+	c10 := NewModel(s10).QueryCost(q1, nil)
+	if c10 < 5*c1 {
+		t.Errorf("SF10 cost %f not ≫ SF1 cost %f", c10, c1)
+	}
+}
+
+func TestPlanShapes(t *testing.T) {
+	s := tpch(t)
+	m := NewModel(s)
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 7")
+	p, err := m.Plan(q, []Index{NewIndex("lineitem.l_partkey")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Access) != 1 || p.Access[0].Kind != ScanIndex && p.Access[0].Kind != ScanIndexOnly {
+		t.Errorf("access = %+v, want index scan", p.Access)
+	}
+	if p.Total <= 0 {
+		t.Errorf("Total = %f", p.Total)
+	}
+}
+
+func TestScanKindStrings(t *testing.T) {
+	kinds := map[ScanKind]string{
+		ScanSeq: "SeqScan", ScanIndex: "IndexScan",
+		ScanIndexOnly: "IndexOnlyScan", ScanIndexFull: "IndexFullScan",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	methods := map[JoinMethod]string{
+		JoinHash: "HashJoin", JoinIndexNL: "IndexNLJoin", JoinCross: "CrossJoin",
+	}
+	for jm, want := range methods {
+		if jm.String() != want {
+			t.Errorf("JoinMethod.String() = %q, want %q", jm.String(), want)
+		}
+	}
+}
+
+func TestWhatIfConcurrent(t *testing.T) {
+	// WhatIf documents safety for concurrent use; hammer it from several
+	// goroutines over a shared cache.
+	s := tpch(t)
+	w := NewWhatIf(NewModel(s))
+	q := parse(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 9")
+	ix := []Index{NewIndex("lineitem.l_partkey")}
+	want := w.QueryCost(q, ix)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				if got := w.QueryCost(q, ix); got != want {
+					t.Errorf("concurrent QueryCost = %f, want %f", got, want)
+					break
+				}
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestTPCDSCosting(t *testing.T) {
+	// The model must handle the 24-table TPC-DS schema: star joins over
+	// store_sales with dimension filters, and date-key indexes must help.
+	s := catalog.TPCDS(1)
+	m := NewModel(s)
+	q, err := sql.ParseResolved(
+		"SELECT d_year, SUM(ss_ext_sales_price) FROM store_sales, date_dim, item "+
+			"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk "+
+			"AND d_year = 50 AND d_moy = 5 AND i_category_id = 3 GROUP BY d_year", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.QueryCost(q, nil)
+	withIx := m.QueryCost(q, []Index{NewIndex("store_sales.ss_sold_date_sk")})
+	if withIx >= base {
+		t.Errorf("date-key index did not help the star join: %f >= %f", withIx, base)
+	}
+}
+
+func TestCorrelationLowersRangeScanCost(t *testing.T) {
+	// l_shipdate has Corr 0.9; a hypothetical uncorrelated twin of the same
+	// selectivity must cost more to range-scan.
+	s := tpch(t)
+	m := NewModel(s)
+	corr := parse(t, s, "SELECT * FROM lineitem WHERE l_shipdate BETWEEN 100 AND 175")   // ~3%
+	uncorr := parse(t, s, "SELECT * FROM lineitem WHERE l_partkey BETWEEN 100 AND 6100") // ~3%
+	cCorr := m.QueryCost(corr, []Index{NewIndex("lineitem.l_shipdate")})
+	cUncorr := m.QueryCost(uncorr, []Index{NewIndex("lineitem.l_partkey")})
+	if cCorr >= cUncorr {
+		t.Errorf("correlated range scan %f should undercut uncorrelated %f", cCorr, cUncorr)
+	}
+}

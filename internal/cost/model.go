@@ -1,0 +1,589 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// ScanKind is the chosen access path for one table.
+type ScanKind int
+
+const (
+	ScanSeq       ScanKind = iota // full sequential scan
+	ScanIndex                     // B-tree range/point scan + heap fetch
+	ScanIndexOnly                 // B-tree scan, covering (no heap fetch)
+	ScanIndexFull                 // full index-only traversal (covering, no match)
+)
+
+// String names the scan kind.
+func (k ScanKind) String() string {
+	switch k {
+	case ScanSeq:
+		return "SeqScan"
+	case ScanIndex:
+		return "IndexScan"
+	case ScanIndexOnly:
+		return "IndexOnlyScan"
+	case ScanIndexFull:
+		return "IndexFullScan"
+	default:
+		return fmt.Sprintf("ScanKind(%d)", int(k))
+	}
+}
+
+// TableAccess is the costed access path decision for one base table.
+type TableAccess struct {
+	Table         string
+	Kind          ScanKind
+	Index         *Index  // nil for ScanSeq
+	MatchedCols   int     // leading index columns matched by predicates
+	IndexSel      float64 // selectivity of the matched index condition
+	FilterSel     float64 // selectivity of the residual filter
+	Cost          float64
+	OutRows       float64
+	ProvidesOrder bool // output is ordered by the query's first ORDER BY column
+}
+
+// JoinMethod is the physical join operator.
+type JoinMethod int
+
+const (
+	JoinHash    JoinMethod = iota // hash join: build on new table, probe with current
+	JoinIndexNL                   // index nested-loop into the new table
+	JoinCross                     // cartesian product (no join predicate)
+)
+
+// String names the join method.
+func (jm JoinMethod) String() string {
+	switch jm {
+	case JoinHash:
+		return "HashJoin"
+	case JoinIndexNL:
+		return "IndexNLJoin"
+	case JoinCross:
+		return "CrossJoin"
+	default:
+		return fmt.Sprintf("JoinMethod(%d)", int(jm))
+	}
+}
+
+// JoinStep records adding one table to the join tree.
+type JoinStep struct {
+	Table   string
+	Method  JoinMethod
+	Index   *Index // probe index for JoinIndexNL
+	Cost    float64
+	OutRows float64
+}
+
+// Plan is a fully costed physical plan.
+type Plan struct {
+	Access   []TableAccess // one per FROM table, in plan order
+	Joins    []JoinStep    // len(Access)-1 steps
+	SortCost float64
+	AggCost  float64
+	OutRows  float64
+	Total    float64
+}
+
+// Model is the what-if cost estimator for one schema.
+type Model struct {
+	Schema *catalog.Schema
+	P      Params
+}
+
+// NewModel returns a model with default parameters.
+func NewModel(s *catalog.Schema) *Model {
+	return &Model{Schema: s, P: DefaultParams()}
+}
+
+// QueryCost estimates the execution cost of a resolved query under the given
+// hypothetical index set. It panics on queries referencing unknown tables;
+// all queries must pass sql.Resolve first.
+func (m *Model) QueryCost(q *sql.Query, indexes []Index) float64 {
+	p, err := m.Plan(q, indexes)
+	if err != nil {
+		panic("cost: " + err.Error())
+	}
+	return p.Total
+}
+
+// WorkloadCost sums frequency-weighted query costs: c(W, d, I). freqs may be
+// nil for unit frequencies.
+func (m *Model) WorkloadCost(queries []*sql.Query, freqs []float64, indexes []Index) float64 {
+	total := 0.0
+	for i, q := range queries {
+		f := 1.0
+		if freqs != nil {
+			f = freqs[i]
+		}
+		total += f * m.QueryCost(q, indexes)
+	}
+	return total
+}
+
+// Plan chooses access paths and join order for q under the hypothetical
+// index set and returns the costed plan.
+func (m *Model) Plan(q *sql.Query, indexes []Index) (*Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("query has no tables")
+	}
+	byTable := make(map[string][]Index)
+	for _, ix := range indexes {
+		byTable[ix.Table()] = append(byTable[ix.Table()], ix)
+	}
+
+	access := make(map[string]*TableAccess, len(q.Tables))
+	for _, t := range q.Tables {
+		tbl := m.Schema.Table(t)
+		if tbl == nil {
+			return nil, fmt.Errorf("unknown table %q", t)
+		}
+		access[t] = m.bestAccess(q, tbl, byTable[t], len(q.Tables) == 1)
+	}
+
+	plan := &Plan{}
+	singleTable := len(q.Tables) == 1
+
+	if singleTable {
+		a := access[q.Tables[0]]
+		plan.Access = []TableAccess{*a}
+		plan.OutRows = a.OutRows
+		if len(q.OrderBy) > 0 && !a.ProvidesOrder {
+			plan.SortCost = m.sortCost(a.OutRows)
+		}
+	} else {
+		if err := m.orderJoins(q, access, byTable, plan); err != nil {
+			return nil, err
+		}
+		if len(q.OrderBy) > 0 {
+			plan.SortCost = m.sortCost(plan.OutRows)
+		}
+	}
+
+	if len(q.GroupBy) > 0 {
+		plan.AggCost = plan.OutRows * m.P.CPUOperatorCost
+		groups := 1.0
+		for _, g := range q.GroupBy {
+			groups *= float64(m.Schema.ColumnNDV(g))
+		}
+		if groups < plan.OutRows {
+			plan.OutRows = groups
+		}
+	} else if hasAggregate(q) {
+		plan.AggCost = plan.OutRows * m.P.CPUOperatorCost
+		plan.OutRows = 1
+	}
+
+	if q.Limit > 0 && plan.OutRows > float64(q.Limit) {
+		plan.OutRows = float64(q.Limit)
+	}
+
+	for _, a := range plan.Access {
+		plan.Total += a.Cost
+	}
+	for _, j := range plan.Joins {
+		plan.Total += j.Cost
+	}
+	plan.Total += plan.SortCost + plan.AggCost
+	return plan, nil
+}
+
+// bestAccess picks the cheapest access path for one table. For single-table
+// queries, LIMIT pushdown is applied to each candidate that can deliver rows
+// in final order (early termination), which is what makes "ORDER BY c LIMIT
+// k" queries prize an index on c.
+func (m *Model) bestAccess(q *sql.Query, tbl *catalog.Table, candidates []Index, single bool) *TableAccess {
+	preds := q.PredicatesOn(tbl.Name)
+	rows := float64(tbl.Rows(m.Schema.SF))
+	pages := m.heapPages(tbl)
+	filterSel := conjunctionSelectivity(m.Schema, preds)
+
+	limitScale := func(a *TableAccess) {
+		if !single || q.Limit <= 0 || hasAggregate(q) || len(q.GroupBy) > 0 {
+			return
+		}
+		if len(q.OrderBy) > 0 && !a.ProvidesOrder {
+			return
+		}
+		if a.OutRows <= float64(q.Limit) {
+			return
+		}
+		frac := float64(q.Limit) / a.OutRows
+		floor := m.btreeHeight(rows) * m.P.RandomPageCost
+		a.Cost = math.Max(a.Cost*frac, floor)
+		a.OutRows = float64(q.Limit)
+	}
+
+	best := &TableAccess{
+		Table:     tbl.Name,
+		Kind:      ScanSeq,
+		FilterSel: filterSel,
+		Cost:      pages*m.P.SeqPageCost + rows*m.P.CPUTupleCost,
+		OutRows:   math.Max(rows*filterSel, 1e-9),
+	}
+	limitScale(best)
+
+	refCols := m.referencedColumnsOf(q, tbl.Name)
+	for i := range candidates {
+		ix := candidates[i]
+		if a := m.indexAccess(q, tbl, ix, preds, rows, refCols); a != nil {
+			limitScale(a)
+			if a.Cost < best.Cost {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// indexAccess costs scanning tbl through ix, or returns nil when the index
+// is unusable for this query.
+func (m *Model) indexAccess(q *sql.Query, tbl *catalog.Table, ix Index, preds []sql.Predicate, rows float64, refCols map[string]bool) *TableAccess {
+	matched, indexSel := matchPrefix(m.Schema, ix, preds)
+	covering := coversAll(ix, refCols)
+	providesOrder := len(q.OrderBy) > 0 && ix.Columns[0] == q.OrderBy[0].Column
+
+	// Residual filter: predicates not absorbed by the index condition.
+	residual := 1.0
+	if matched > 0 {
+		total := conjunctionSelectivity(m.Schema, preds)
+		residual = total / indexSel
+		if residual > 1 {
+			residual = 1
+		}
+	} else {
+		residual = conjunctionSelectivity(m.Schema, preds)
+	}
+
+	descent := m.btreeHeight(rows) * m.P.RandomPageCost
+
+	switch {
+	case matched > 0:
+		matchedRows := math.Max(rows*indexSel, 1e-9)
+		leafIO := m.indexLeafPages(tbl, ix, rows) * indexSel * m.P.SeqPageCost
+		cost := descent + leafIO + matchedRows*m.P.CPUIndexTupleCost
+		kind := ScanIndexOnly
+		if !covering {
+			kind = ScanIndex
+			// Bitmap-style heap fetch. Uncorrelated fraction: the
+			// Mackert-Lohman estimate of distinct pages touched when
+			// fetching matchedRows tuples from `pages` heap pages.
+			// Correlated fraction (PostgreSQL's pg_stats.correlation): the
+			// matching tuples are physically contiguous, so the fetch reads
+			// ~sel×pages near-sequentially — what makes range indexes on
+			// append-ordered date/key columns cheap.
+			pages := m.heapPages(tbl)
+			fetched := 2 * pages * matchedRows / (2*pages + matchedRows)
+			if fetched > pages {
+				fetched = pages
+			}
+			corr := m.Schema.ColumnCorr(ix.Columns[0])
+			contig := indexSel * pages
+			if contig < 1 {
+				contig = 1
+			}
+			cost += corr*contig*m.P.SeqPageCost + (1-corr)*fetched*m.P.RandomPageCost
+			cost += matchedRows * m.P.CPUTupleCost // residual filter eval
+		}
+		return &TableAccess{
+			Table: tbl.Name, Kind: kind, Index: &ix,
+			MatchedCols: matched, IndexSel: indexSel, FilterSel: residual,
+			Cost:    cost,
+			OutRows: math.Max(matchedRows*residual, 1e-9),
+			// An index condition scan is ordered by the index's columns.
+			ProvidesOrder: providesOrder,
+		}
+	case covering:
+		// Full index-only traversal: cheaper than a seq scan when the index
+		// is much narrower than the heap tuple.
+		leafPages := m.indexLeafPages(tbl, ix, rows)
+		cost := leafPages*m.P.SeqPageCost + rows*m.P.CPUIndexTupleCost
+		return &TableAccess{
+			Table: tbl.Name, Kind: ScanIndexFull, Index: &ix,
+			FilterSel:     residual,
+			Cost:          cost,
+			OutRows:       math.Max(rows*residual, 1e-9),
+			ProvidesOrder: providesOrder,
+		}
+	case providesOrder && len(q.OrderBy) > 0:
+		// Unselective but order-providing: full index scan + heap fetch.
+		// Only profitable with LIMIT; cost the full traversal here and let
+		// LIMIT pushdown scale it.
+		cost := descent + rows*(m.P.CPUIndexTupleCost+m.P.RandomPageCost)
+		return &TableAccess{
+			Table: tbl.Name, Kind: ScanIndex, Index: &ix,
+			FilterSel:     residual,
+			Cost:          cost,
+			OutRows:       math.Max(rows*residual, 1e-9),
+			ProvidesOrder: true,
+		}
+	default:
+		return nil
+	}
+}
+
+// matchPrefix walks the index's columns, absorbing equality/IN predicates
+// and at most one trailing range predicate, B-tree style. It returns the
+// number of matched columns and the combined selectivity of the matched
+// condition.
+func matchPrefix(s *catalog.Schema, ix Index, preds []sql.Predicate) (int, float64) {
+	byCol := make(map[string][]sql.Predicate, len(preds))
+	for _, p := range preds {
+		byCol[p.Column] = append(byCol[p.Column], p)
+	}
+	matched := 0
+	sel := 1.0
+	for _, col := range ix.Columns {
+		ps := byCol[col]
+		if len(ps) == 0 {
+			break
+		}
+		eq := false
+		colSel := 1.0
+		rangeOnly := true
+		for _, p := range ps {
+			if !p.Op.Sargable() {
+				continue
+			}
+			colSel *= predSelectivity(s, p)
+			if p.Op == sql.OpEq || p.Op == sql.OpIn {
+				eq = true
+				rangeOnly = false
+			}
+		}
+		if colSel == 1.0 {
+			break // only non-sargable predicates on this column
+		}
+		matched++
+		sel *= colSel
+		if !eq && rangeOnly {
+			break // a range predicate ends the usable prefix
+		}
+	}
+	if sel < 1e-9 {
+		sel = 1e-9
+	}
+	return matched, sel
+}
+
+// coversAll reports whether the index contains every referenced column.
+func coversAll(ix Index, refCols map[string]bool) bool {
+	if len(refCols) == 0 {
+		return false
+	}
+	have := make(map[string]bool, len(ix.Columns))
+	for _, c := range ix.Columns {
+		have[c] = true
+	}
+	for c := range refCols {
+		if !have[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// referencedColumnsOf collects the query's referenced columns belonging to
+// one table. A '*' select or aggregate over '*' references all columns,
+// which we represent by returning a set that no index can cover (includes a
+// sentinel).
+func (m *Model) referencedColumnsOf(q *sql.Query, table string) map[string]bool {
+	set := make(map[string]bool)
+	prefix := table + "."
+	star := false
+	for _, si := range q.Select {
+		if si.Star && si.Agg == sql.AggNone {
+			star = true
+		}
+	}
+	if star {
+		set[prefix+"\x00star"] = true
+		return set
+	}
+	for _, c := range q.ReferencedColumns() {
+		if sql.TableOf(c) == table {
+			set[c] = true
+		}
+	}
+	return set
+}
+
+// orderJoins greedily builds the join tree: start from the smallest filtered
+// table, repeatedly add the connected table minimizing the intermediate
+// cardinality, choosing hash vs index-nested-loop per step.
+func (m *Model) orderJoins(q *sql.Query, access map[string]*TableAccess, byTable map[string][]Index, plan *Plan) error {
+	remaining := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		remaining[t] = true
+	}
+	// Start table: smallest filtered cardinality.
+	start := ""
+	for _, t := range q.Tables {
+		if start == "" || access[t].OutRows < access[start].OutRows {
+			start = t
+		}
+	}
+	delete(remaining, start)
+	plan.Access = []TableAccess{*access[start]}
+	card := access[start].OutRows
+	inTree := map[string]bool{start: true}
+
+	for len(remaining) > 0 {
+		// Choose next: connected table with minimal resulting cardinality.
+		next, nextCard := "", math.Inf(1)
+		var nextConds []sql.Join
+		for t := range remaining {
+			conds := connectingConds(q, t, inTree)
+			out := card * access[t].OutRows
+			for _, jc := range conds {
+				out /= math.Max(joinNDV(m.Schema, jc), 1)
+			}
+			if len(conds) == 0 {
+				out *= 10 // discourage cross joins
+			}
+			if out < nextCard || next == "" {
+				next, nextCard, nextConds = t, out, conds
+			}
+		}
+
+		step := JoinStep{Table: next, OutRows: math.Max(nextCard, 1e-9)}
+		a := access[next]
+		switch {
+		case len(nextConds) == 0:
+			step.Method = JoinCross
+			step.Cost = a.Cost + card*a.OutRows*m.P.CPUOperatorCost
+			plan.Access = append(plan.Access, *a)
+		default:
+			// Hash join: pay the new table's access path plus build+probe.
+			hashCost := a.Cost + 1.5*m.P.CPUOperatorCost*(card+a.OutRows)
+			// Index nested loop: probe an index on the new table's join key;
+			// replaces the table's own scan.
+			nlCost := math.Inf(1)
+			var nlIndex *Index
+			tbl := m.Schema.Table(next)
+			rows := float64(tbl.Rows(m.Schema.SF))
+			for _, jc := range nextConds {
+				key := jc.Left
+				if sql.TableOf(key) != next {
+					key = jc.Right
+				}
+				for i := range byTable[next] {
+					ix := byTable[next][i]
+					if ix.Columns[0] != key {
+						continue
+					}
+					perMatch := rows / math.Max(float64(m.Schema.ColumnNDV(key)), 1)
+					// With a physically correlated join key the per-probe
+					// matches share a heap page; uncorrelated keys pay one
+					// random fetch per match.
+					corr := m.Schema.ColumnCorr(key)
+					heap := corr*m.P.RandomPageCost + (1-corr)*perMatch*m.P.RandomPageCost
+					probe := m.btreeHeight(rows)*m.P.RandomPageCost + heap +
+						perMatch*(m.P.CPUIndexTupleCost+m.P.CPUTupleCost)
+					c := card * probe
+					if c < nlCost {
+						nlCost = c
+						nlIndex = &ix
+					}
+				}
+			}
+			if nlCost < hashCost {
+				step.Method = JoinIndexNL
+				step.Index = nlIndex
+				step.Cost = nlCost
+				// The probed table contributes no separate scan; record the
+				// access as the probe itself for plan reporting.
+				probeAccess := *a
+				probeAccess.Kind = ScanIndex
+				probeAccess.Index = nlIndex
+				probeAccess.Cost = 0
+				plan.Access = append(plan.Access, probeAccess)
+			} else {
+				step.Method = JoinHash
+				step.Cost = 1.5 * m.P.CPUOperatorCost * (card + a.OutRows)
+				plan.Access = append(plan.Access, *a)
+			}
+		}
+		plan.Joins = append(plan.Joins, step)
+		card = step.OutRows
+		inTree[next] = true
+		delete(remaining, next)
+	}
+	plan.OutRows = card
+	return nil
+}
+
+// connectingConds returns join conditions linking table t to the current
+// join tree.
+func connectingConds(q *sql.Query, t string, inTree map[string]bool) []sql.Join {
+	var out []sql.Join
+	for _, j := range q.Joins {
+		lt, rt := sql.TableOf(j.Left), sql.TableOf(j.Right)
+		if (lt == t && inTree[rt]) || (rt == t && inTree[lt]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// joinNDV returns the larger distinct count of a join condition's two sides,
+// the standard equi-join cardinality denominator.
+func joinNDV(s *catalog.Schema, j sql.Join) float64 {
+	l := float64(s.ColumnNDV(j.Left))
+	r := float64(s.ColumnNDV(j.Right))
+	return math.Max(l, r)
+}
+
+func (m *Model) sortCost(rows float64) float64 {
+	if rows < 2 {
+		return 0
+	}
+	return 2 * rows * math.Log2(rows) * m.P.CPUOperatorCost
+}
+
+func (m *Model) heapPages(tbl *catalog.Table) float64 {
+	rows := float64(tbl.Rows(m.Schema.SF))
+	p := rows * float64(tbl.TupleWidth()) / float64(m.P.PageSize)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func (m *Model) indexLeafPages(tbl *catalog.Table, ix Index, rows float64) float64 {
+	width := 8 // rowid
+	for _, c := range ix.Columns {
+		if col := m.Schema.Column(c); col != nil {
+			width += col.Width
+		}
+	}
+	p := rows * float64(width) / float64(m.P.PageSize)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func (m *Model) btreeHeight(rows float64) float64 {
+	if rows < 2 {
+		return 1
+	}
+	h := math.Ceil(math.Log(rows) / math.Log(m.P.BTreeFanout))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func hasAggregate(q *sql.Query) bool {
+	for _, si := range q.Select {
+		if si.Agg != sql.AggNone {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package cost
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sql"
+)
+
+// WhatIf memoizes what-if optimizer calls. Advisors re-cost the same
+// (query, index set) pairs thousands of times during training; this cache
+// plays the role of the hypothetical-index call layer in the paper's testbed.
+// It is safe for concurrent use.
+type WhatIf struct {
+	Model *Model
+
+	mu    sync.Mutex
+	cache map[string]float64
+	calls int64
+	hits  int64
+}
+
+// NewWhatIf wraps a model with a cache.
+func NewWhatIf(m *Model) *WhatIf {
+	return &WhatIf{Model: m, cache: make(map[string]float64)}
+}
+
+// QueryCost returns the memoized cost of q under the index set.
+func (w *WhatIf) QueryCost(q *sql.Query, indexes []Index) float64 {
+	key := cacheKey(q, indexes)
+	w.mu.Lock()
+	w.calls++
+	if c, ok := w.cache[key]; ok {
+		w.hits++
+		w.mu.Unlock()
+		return c
+	}
+	w.mu.Unlock()
+	c := w.Model.QueryCost(q, indexes)
+	w.mu.Lock()
+	w.cache[key] = c
+	w.mu.Unlock()
+	return c
+}
+
+// WorkloadCost sums frequency-weighted memoized query costs.
+func (w *WhatIf) WorkloadCost(queries []*sql.Query, freqs []float64, indexes []Index) float64 {
+	total := 0.0
+	for i, q := range queries {
+		f := 1.0
+		if freqs != nil {
+			f = freqs[i]
+		}
+		total += f * w.QueryCost(q, indexes)
+	}
+	return total
+}
+
+// Reduction returns the relative cost reduction 1 - c(W,d,I)/c(W,d,∅), the
+// reward quantity most learned advisors and PIPA's probing stage use (Eq. 7).
+func (w *WhatIf) Reduction(queries []*sql.Query, freqs []float64, indexes []Index) float64 {
+	base := w.WorkloadCost(queries, freqs, nil)
+	if base <= 0 {
+		return 0
+	}
+	return 1 - w.WorkloadCost(queries, freqs, indexes)/base
+}
+
+// Stats reports total calls and cache hits.
+func (w *WhatIf) Stats() (calls, hits int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.calls, w.hits
+}
+
+func cacheKey(q *sql.Query, indexes []Index) string {
+	keys := make([]string, len(indexes))
+	for i, ix := range indexes {
+		keys[i] = ix.Key()
+	}
+	sort.Strings(keys)
+	return q.String() + "|" + strings.Join(keys, ";")
+}

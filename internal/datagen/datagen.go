@@ -1,0 +1,79 @@
+// Package datagen populates a storage.Store with deterministic synthetic
+// data matching a catalog schema's statistical profile. It stands in for the
+// TPC dbgen/dsdgen tools: per-column distinct counts, null fractions, skew
+// and foreign-key reference patterns are honored, so the cost model's
+// catalog-based estimates line up with what the execution engine actually
+// scans.
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// Generate materializes every table in the schema at its scale factor.
+// The same (schema, seed) pair always yields identical data.
+func Generate(s *catalog.Schema, seed int64) *storage.Store {
+	store := storage.NewStore()
+	for _, tbl := range s.Tables {
+		store.AddTable(generateTable(s, tbl, seed))
+	}
+	return store
+}
+
+// generateTable fills one table. Each column gets its own RNG stream derived
+// from the seed and the column name, so adding a column never perturbs the
+// data of existing ones.
+func generateTable(s *catalog.Schema, tbl *catalog.Table, seed int64) *storage.Table {
+	rows := int(tbl.Rows(s.SF))
+	t := storage.NewTable(tbl.Name, rows)
+	for _, col := range tbl.Columns {
+		rng := rand.New(rand.NewSource(seed ^ hash64(col.QualifiedName())))
+		t.SetColumn(col.Name, generateColumn(s, col, rows, rng))
+	}
+	return t
+}
+
+func generateColumn(s *catalog.Schema, col *catalog.Column, rows int, rng *rand.Rand) []int64 {
+	vals := make([]int64, rows)
+	lo, hi := s.ColumnDomain(col.QualifiedName())
+	width := hi - lo
+	if width < 1 {
+		width = 1
+	}
+	var zipf *rand.Zipf
+	if col.Skew > 1 && width > 1 {
+		zipf = rand.NewZipf(rng, col.Skew, 1, uint64(width-1))
+	}
+	for i := range vals {
+		if col.NullFrac > 0 && rng.Float64() < col.NullFrac {
+			vals[i] = storage.Null
+			continue
+		}
+		switch {
+		case col.Kind == catalog.KindPK:
+			vals[i] = int64(i)
+		case col.Corr > 0 && rng.Float64() < col.Corr:
+			// Physically correlated column: value tracks storage position
+			// (append-ordered data), realizing the catalog's Corr statistic.
+			vals[i] = lo + int64(float64(i)/float64(rows)*float64(width))
+		case zipf != nil:
+			vals[i] = lo + int64(zipf.Uint64())
+		default:
+			vals[i] = lo + rng.Int63n(width)
+		}
+	}
+	return vals
+}
+
+// hash64 is FNV-1a over the string, used to derive per-column RNG streams.
+func hash64(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

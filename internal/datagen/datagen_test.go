@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// tiny returns TPC-H at a very small scale for fast materialization.
+func tiny() *catalog.Schema { return catalog.TPCH(0.002) }
+
+func TestDeterminism(t *testing.T) {
+	s := tiny()
+	a := Generate(s, 42)
+	b := Generate(s, 42)
+	col1 := a.Table("lineitem").Column("l_partkey")
+	col2 := b.Table("lineitem").Column("l_partkey")
+	for i := range col1 {
+		if col1[i] != col2[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, col1[i], col2[i])
+		}
+	}
+	c := Generate(s, 43)
+	col3 := c.Table("lineitem").Column("l_partkey")
+	same := true
+	for i := range col1 {
+		if col1[i] != col3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAllTablesMaterialized(t *testing.T) {
+	s := tiny()
+	store := Generate(s, 1)
+	for _, tbl := range s.Tables {
+		st := store.Table(tbl.Name)
+		if st == nil {
+			t.Fatalf("table %s not materialized", tbl.Name)
+		}
+		if int64(st.Rows) != tbl.Rows(s.SF) {
+			t.Errorf("%s rows = %d, want %d", tbl.Name, st.Rows, tbl.Rows(s.SF))
+		}
+		for _, c := range tbl.Columns {
+			if st.Column(c.Name) == nil {
+				t.Errorf("%s.%s missing", tbl.Name, c.Name)
+			}
+		}
+	}
+}
+
+func TestValuesWithinDomain(t *testing.T) {
+	s := tiny()
+	store := Generate(s, 7)
+	for _, tbl := range s.Tables {
+		st := store.Table(tbl.Name)
+		for _, c := range tbl.Columns {
+			lo, hi := s.ColumnDomain(c.QualifiedName())
+			for _, v := range st.Column(c.Name) {
+				if v == storage.Null {
+					continue
+				}
+				if v < lo || v >= hi {
+					t.Fatalf("%s value %d outside domain [%d, %d)", c.QualifiedName(), v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPKSequential(t *testing.T) {
+	s := tiny()
+	store := Generate(s, 7)
+	col := store.Table("orders").Column("o_orderkey")
+	for i, v := range col {
+		if v != int64(i) {
+			t.Fatalf("PK row %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestNDVApproximatelyHonored(t *testing.T) {
+	s := catalog.TPCH(0.01) // 60k lineitem rows: enough samples
+	store := Generate(s, 3)
+	li := store.Table("lineitem")
+	checks := []struct {
+		col     string
+		wantNDV int64
+	}{
+		{"l_returnflag", 3},
+		{"l_shipmode", 7},
+		{"l_quantity", 50},
+	}
+	for _, c := range checks {
+		seen := make(map[int64]bool)
+		for _, v := range li.Column(c.col) {
+			if v != storage.Null {
+				seen[v] = true
+			}
+		}
+		if int64(len(seen)) != c.wantNDV {
+			t.Errorf("%s distinct = %d, want %d", c.col, len(seen), c.wantNDV)
+		}
+	}
+}
+
+func TestNullFraction(t *testing.T) {
+	s := catalog.TPCDS(0.01)
+	store := Generate(s, 9)
+	// ss_customer_sk has NullFrac 0.045.
+	col := store.Table("store_sales").Column("ss_customer_sk")
+	nulls := 0
+	for _, v := range col {
+		if v == storage.Null {
+			nulls++
+		}
+	}
+	frac := float64(nulls) / float64(len(col))
+	if math.Abs(frac-0.045) > 0.02 {
+		t.Errorf("null fraction = %f, want ≈ 0.045", frac)
+	}
+}
+
+func TestFKWithinReferencedDomain(t *testing.T) {
+	s := tiny()
+	store := Generate(s, 11)
+	custRows := int64(store.Table("customer").Rows)
+	for _, v := range store.Table("orders").Column("o_custkey") {
+		if v == storage.Null {
+			continue
+		}
+		if v < 0 || v >= custRows {
+			t.Fatalf("o_custkey = %d outside customer PK domain [0, %d)", v, custRows)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/pipa"
+	"repro/internal/qgen"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*advisor.Env, *workload.Workload, *pipa.StressTester) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	w := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, w)
+	nw := workload.GenerateNormal(s, workload.TPCHTemplates(), 14, rand.New(rand.NewSource(13)))
+	cfg := pipa.DefaultConfig(s)
+	cfg.P = 5
+	cfg.Np = 8
+	cfg.Na = 12
+	opts := qgen.DefaultOptions()
+	opts.CorpusSize = 80
+	gen := qgen.TrainIABART(qgen.NewFSM(s), w, nil, opts, 3)
+	return env, nw, pipa.NewStressTester(s, w, gen, cfg)
+}
+
+func fastCfg() advisor.Config {
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = 30
+	cfg.InferTrajectories = 10
+	cfg.Hidden = 32
+	return cfg
+}
+
+func TestSanitizerKeepsNormalQueries(t *testing.T) {
+	env, nw, _ := setup(t)
+	san := NewSanitizer(env.WhatIf, nw)
+	// Screening a second normal workload (different parameters, same
+	// templates): the vast majority must pass.
+	other := workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 14, rand.New(rand.NewSource(29)))
+	kept, report := san.Screen(other)
+	if frac := float64(kept.Len()) / float64(other.Len()); frac < 0.7 {
+		t.Errorf("sanitizer kept only %.0f%% of normal queries: %s", 100*frac, report)
+	}
+}
+
+func TestSanitizerDropsToxicQueries(t *testing.T) {
+	env, nw, st := setup(t)
+	// Hand-build the attacker's preference so the mid segment holds columns
+	// the reference workload never rewards — the genuinely toxic case (a
+	// small probing budget against an underfit advisor can also produce
+	// accidental non-toxic injections, which the sanitizer rightly keeps).
+	cols := env.Schema.IndexableColumnNames()
+	ranking := append([]string{
+		"lineitem.l_shipdate", "lineitem.l_partkey", "lineitem.l_orderkey",
+		"lineitem.l_receiptdate",
+		"part.p_retailprice", "customer.c_phone", "supplier.s_acctbal",
+		"orders.o_clerk", "partsupp.ps_supplycost",
+	}, nil...)
+	seen := make(map[string]bool)
+	for _, c := range ranking {
+		seen[c] = true
+	}
+	k := map[string]float64{}
+	for i, c := range ranking {
+		k[c] = 1 / float64(i+1)
+	}
+	for _, c := range cols {
+		if !seen[c] {
+			ranking = append(ranking, c)
+		}
+	}
+	pref := &pipa.Preference{Ranking: ranking, K: k}
+	tw := st.Inject(pref)
+	if tw.Len() == 0 {
+		t.Skip("no toxic queries generated at this scale")
+	}
+	san := NewSanitizer(env.WhatIf, nw)
+	kept, report := san.Screen(tw)
+	if frac := float64(kept.Len()) / float64(tw.Len()); frac > 0.5 {
+		t.Errorf("sanitizer kept %.0f%% of toxic queries: %s", 100*frac, report)
+	}
+	if report.Dropped == 0 {
+		t.Error("no toxic queries flagged")
+	}
+}
+
+func TestSanitizerAlwaysKeepsReferenceQueries(t *testing.T) {
+	env, nw, _ := setup(t)
+	san := NewSanitizer(env.WhatIf, nw)
+	kept, report := san.Screen(nw)
+	if kept.Len() != nw.Len() || report.Dropped != 0 {
+		t.Errorf("reference queries dropped: %s", report)
+	}
+}
+
+func TestRobustWrapper(t *testing.T) {
+	env, nw, st := setup(t)
+	ia, err := registry.New("DQN-b", env, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRobust(ia, env.WhatIf, nw)
+	if r.Name() != "DQN-b+defense" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.TrialBased() != ia.TrialBased() {
+		t.Error("TrialBased not delegated")
+	}
+	r.Train(nw)
+	// Poisoned retraining through the wrapper screens the merged set.
+	tw := pipa.PIPAInjector{Tester: st}.BuildInjection(r, 12)
+	r.Retrain(nw.Merge(tw))
+	if r.LastReport == nil {
+		t.Fatal("no screening report recorded")
+	}
+	if r.LastReport.Kept < nw.Len() {
+		t.Errorf("defense dropped normal queries: %s", r.LastReport)
+	}
+	if idx := r.Recommend(nw); len(idx) == 0 {
+		t.Error("no recommendation after defended retrain")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Kept: 3, Dropped: 2, Reasons: map[string]string{
+		"q1": "sharp-benefit", "q2": "unsupported-column",
+	}}
+	s := rep.String()
+	for _, want := range []string{"kept 3", "dropped 2", "sharp-benefit", "unsupported-column"} {
+		if !contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

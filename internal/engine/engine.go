@@ -1,0 +1,626 @@
+// Package engine executes physical plans from internal/cost against the
+// synthetic data in internal/storage, producing result rows and an *actual*
+// cost measured from the work performed (pages touched, tuples processed,
+// index probes). The paper distinguishes estimated cost (used to build
+// IABART training data) from actual execution cost (used in the robustness
+// metrics); this engine provides the latter for the simulation and
+// cross-validates the what-if model.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// DB bundles a schema, its cost model, and materialized data.
+type DB struct {
+	Schema *catalog.Schema
+	Model  *cost.Model
+	Store  *storage.Store
+}
+
+// Open generates data for the schema and returns a ready database.
+func Open(s *catalog.Schema, seed int64) *DB {
+	return &DB{Schema: s, Model: cost.NewModel(s), Store: datagen.Generate(s, seed)}
+}
+
+// Result is the output of executing one query.
+type Result struct {
+	Columns    []string  // output column labels
+	Rows       [][]int64 // output tuples
+	ActualCost float64   // measured work in the same units as cost.Model
+}
+
+// Execute plans q under the given index set and runs the plan.
+func (db *DB) Execute(q *sql.Query, indexes []cost.Index) (*Result, error) {
+	plan, err := db.Model.Plan(q, indexes)
+	if err != nil {
+		return nil, err
+	}
+	ex := &exec{db: db, q: q, plan: plan}
+	return ex.run()
+}
+
+// exec carries per-query execution state.
+type exec struct {
+	db   *DB
+	q    *sql.Query
+	plan *cost.Plan
+	cost float64
+
+	tables []string       // joined tables in plan order
+	tblIdx map[string]int // table -> position in tuple vectors
+	tuples [][]int32      // current joined tuples
+}
+
+func (ex *exec) run() (*Result, error) {
+	p := ex.db.Model.P
+	ex.tblIdx = make(map[string]int)
+
+	// Access the first table.
+	first := ex.plan.Access[0]
+	rids, err := ex.scanTable(&first)
+	if err != nil {
+		return nil, err
+	}
+	ex.tables = []string{first.Table}
+	ex.tblIdx[first.Table] = 0
+	ex.tuples = make([][]int32, len(rids))
+	for i, r := range rids {
+		ex.tuples[i] = []int32{r}
+	}
+
+	// Early termination for single-table queries that need no sort/agg.
+	canStopEarly := len(ex.q.Tables) == 1 && ex.q.Limit > 0 &&
+		len(ex.q.GroupBy) == 0 && !hasAgg(ex.q) && len(ex.q.OrderBy) == 0
+	if canStopEarly && len(ex.tuples) > ex.q.Limit {
+		ex.tuples = ex.tuples[:ex.q.Limit]
+	}
+
+	// Apply join steps.
+	for i, step := range ex.plan.Joins {
+		access := ex.plan.Access[i+1]
+		if err := ex.joinStep(step, &access); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{}
+	if len(ex.q.GroupBy) > 0 || hasAgg(ex.q) {
+		ex.aggregate(res)
+	} else {
+		ex.project(res)
+	}
+
+	// ORDER BY over the produced rows when the order columns are available
+	// in the output; otherwise the rows are left in plan order (the cost of
+	// the sort was charged regardless).
+	if len(ex.q.OrderBy) > 0 {
+		ex.orderBy(res)
+		ex.cost += sortCost(float64(len(res.Rows)), p.CPUOperatorCost)
+	}
+	if ex.q.Limit > 0 && len(res.Rows) > ex.q.Limit {
+		res.Rows = res.Rows[:ex.q.Limit]
+	}
+	res.ActualCost = ex.cost
+	return res, nil
+}
+
+// scanTable produces the filtered row ids for one table access.
+func (ex *exec) scanTable(a *cost.TableAccess) ([]int32, error) {
+	t := ex.db.Store.Table(a.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: no data for table %q", a.Table)
+	}
+	preds := ex.q.PredicatesOn(a.Table)
+	p := ex.db.Model.P
+
+	if a.Kind == cost.ScanSeq || a.Index == nil {
+		ex.cost += seqPages(ex.db.Schema, a.Table, t.Rows, p.PageSize)*p.SeqPageCost +
+			float64(t.Rows)*p.CPUTupleCost
+		var out []int32
+		for r := int32(0); r < int32(t.Rows); r++ {
+			if matchAll(t, preds, r) {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+
+	// Index scan through the lead column's B+-tree; residual predicates are
+	// applied as a post-filter.
+	lead := a.Index.Columns[0]
+	leadCol := unqualify(lead)
+	bt, err := ex.db.Store.Index(a.Table, leadCol)
+	if err != nil {
+		return nil, err
+	}
+	ranges := leadRanges(ex.q.PredicatesOn(a.Table), lead)
+	ex.cost += float64(bt.Height()) * p.RandomPageCost * float64(len(ranges))
+	var out []int32
+	for _, rg := range ranges {
+		bt.Range(rg.lo, rg.hi, func(_ int64, rid int32) bool {
+			ex.cost += p.CPUIndexTupleCost + p.RandomPageCost + p.CPUTupleCost
+			if matchAll(t, preds, rid) {
+				out = append(out, rid)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// joinStep extends the current tuples with one more table.
+func (ex *exec) joinStep(step cost.JoinStep, access *cost.TableAccess) error {
+	t := ex.db.Store.Table(step.Table)
+	if t == nil {
+		return fmt.Errorf("engine: no data for table %q", step.Table)
+	}
+	p := ex.db.Model.P
+	preds := ex.q.PredicatesOn(step.Table)
+	conds := ex.connectingConds(step.Table)
+
+	pos := len(ex.tables)
+	ex.tables = append(ex.tables, step.Table)
+	ex.tblIdx[step.Table] = pos
+
+	switch step.Method {
+	case cost.JoinIndexNL:
+		// Probe the new table's index once per current tuple.
+		key := step.Index.Columns[0]
+		keyCol := unqualify(key)
+		bt, err := ex.db.Store.Index(step.Table, keyCol)
+		if err != nil {
+			return err
+		}
+		// Find the condition whose new-table side is the index key.
+		var outerCol string
+		for _, jc := range conds {
+			if jc.Left == key {
+				outerCol = jc.Right
+			} else if jc.Right == key {
+				outerCol = jc.Left
+			}
+		}
+		if outerCol == "" {
+			return fmt.Errorf("engine: IndexNL join without matching condition on %s", key)
+		}
+		var next [][]int32
+		for _, tup := range ex.tuples {
+			v := ex.valueOf(tup, outerCol)
+			if v == storage.Null {
+				continue
+			}
+			ex.cost += float64(bt.Height()) * p.RandomPageCost
+			for _, rid := range bt.Search(v) {
+				ex.cost += p.CPUIndexTupleCost + p.RandomPageCost + p.CPUTupleCost
+				if !matchAll(t, preds, rid) {
+					continue
+				}
+				nt := append(append(make([]int32, 0, len(tup)+1), tup...), rid)
+				if ex.satisfiesOtherConds(nt, conds, key) {
+					next = append(next, nt)
+				}
+			}
+		}
+		ex.tuples = next
+	case cost.JoinHash:
+		rids, err := ex.scanTable(access)
+		if err != nil {
+			return err
+		}
+		// Build on the new table using the first condition's key.
+		jc := conds[0]
+		buildCol, probeCol := jc.Left, jc.Right
+		if sql.TableOf(buildCol) != step.Table {
+			buildCol, probeCol = probeCol, buildCol
+		}
+		buildColName := unqualify(buildCol)
+		ht := make(map[int64][]int32, len(rids))
+		for _, rid := range rids {
+			v := t.Value(buildColName, rid)
+			if v == storage.Null {
+				continue
+			}
+			ht[v] = append(ht[v], rid)
+			ex.cost += p.CPUOperatorCost
+		}
+		var next [][]int32
+		for _, tup := range ex.tuples {
+			ex.cost += p.CPUOperatorCost
+			v := ex.valueOf(tup, probeCol)
+			if v == storage.Null {
+				continue
+			}
+			for _, rid := range ht[v] {
+				nt := append(append(make([]int32, 0, len(tup)+1), tup...), rid)
+				if ex.satisfiesOtherConds(nt, conds, buildCol) {
+					next = append(next, nt)
+				}
+			}
+		}
+		ex.tuples = next
+	case cost.JoinCross:
+		rids, err := ex.scanTable(access)
+		if err != nil {
+			return err
+		}
+		var next [][]int32
+		for _, tup := range ex.tuples {
+			for _, rid := range rids {
+				ex.cost += p.CPUOperatorCost
+				next = append(next, append(append(make([]int32, 0, len(tup)+1), tup...), rid))
+			}
+		}
+		ex.tuples = next
+	default:
+		return fmt.Errorf("engine: unknown join method %v", step.Method)
+	}
+	return nil
+}
+
+// connectingConds returns join conditions linking table to any table already
+// in the tuple vector.
+func (ex *exec) connectingConds(table string) []sql.Join {
+	var out []sql.Join
+	for _, j := range ex.q.Joins {
+		lt, rt := sql.TableOf(j.Left), sql.TableOf(j.Right)
+		_, lIn := ex.tblIdx[lt]
+		_, rIn := ex.tblIdx[rt]
+		if (lt == table && rIn) || (rt == table && lIn) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// satisfiesOtherConds checks the remaining join conditions (beyond the one
+// used as the physical join key) on an extended tuple.
+func (ex *exec) satisfiesOtherConds(tup []int32, conds []sql.Join, usedKey string) bool {
+	for _, jc := range conds {
+		if jc.Left == usedKey || jc.Right == usedKey {
+			continue
+		}
+		l := ex.valueOf(tup, jc.Left)
+		r := ex.valueOf(tup, jc.Right)
+		if l == storage.Null || r == storage.Null || l != r {
+			return false
+		}
+	}
+	return true
+}
+
+// valueOf reads a qualified column's value from a joined tuple.
+func (ex *exec) valueOf(tup []int32, qualified string) int64 {
+	table := sql.TableOf(qualified)
+	idx, ok := ex.tblIdx[table]
+	if !ok || idx >= len(tup) {
+		panic(fmt.Sprintf("engine: column %s not in joined tuple", qualified))
+	}
+	return ex.db.Store.Table(table).Value(unqualify(qualified), tup[idx])
+}
+
+// project emits the SELECT list for non-aggregate queries.
+func (ex *exec) project(res *Result) {
+	cols := ex.outputColumns()
+	res.Columns = cols
+	res.Rows = make([][]int64, len(ex.tuples))
+	for i, tup := range ex.tuples {
+		row := make([]int64, len(cols))
+		for j, c := range cols {
+			row[j] = ex.valueOf(tup, c)
+		}
+		res.Rows[i] = row
+	}
+}
+
+// outputColumns expands the SELECT list to qualified column names; '*'
+// expands to every column of every FROM table in catalog order.
+func (ex *exec) outputColumns() []string {
+	var cols []string
+	for _, si := range ex.q.Select {
+		if si.Star {
+			for _, tn := range ex.q.Tables {
+				tbl := ex.db.Schema.Table(tn)
+				for _, c := range tbl.Columns {
+					cols = append(cols, c.QualifiedName())
+				}
+			}
+			continue
+		}
+		cols = append(cols, si.Column)
+	}
+	return cols
+}
+
+// aggKey builds the group key for a tuple.
+func (ex *exec) aggKey(tup []int32) string {
+	key := make([]byte, 0, len(ex.q.GroupBy)*8)
+	for _, g := range ex.q.GroupBy {
+		v := ex.valueOf(tup, g)
+		for s := 0; s < 64; s += 8 {
+			key = append(key, byte(v>>s))
+		}
+	}
+	return string(key)
+}
+
+// aggregate evaluates GROUP BY and aggregate select items.
+func (ex *exec) aggregate(res *Result) {
+	p := ex.db.Model.P
+	type aggState struct {
+		rep    []int32 // representative tuple for group columns
+		counts []int64
+		sums   []int64
+		mins   []int64
+		maxs   []int64
+	}
+	groups := make(map[string]*aggState)
+	var order []string
+	n := len(ex.q.Select)
+	for _, tup := range ex.tuples {
+		ex.cost += p.CPUOperatorCost
+		k := ex.aggKey(tup)
+		st := groups[k]
+		if st == nil {
+			st = &aggState{
+				rep:    tup,
+				counts: make([]int64, n),
+				sums:   make([]int64, n),
+				mins:   make([]int64, n),
+				maxs:   make([]int64, n),
+			}
+			for i := range st.mins {
+				st.mins[i] = math.MaxInt64
+				st.maxs[i] = math.MinInt64
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		for i, si := range ex.q.Select {
+			if si.Agg == sql.AggNone {
+				continue
+			}
+			if si.Star {
+				st.counts[i]++
+				continue
+			}
+			v := ex.valueOf(tup, si.Column)
+			if v == storage.Null {
+				continue
+			}
+			st.counts[i]++
+			st.sums[i] += v
+			if v < st.mins[i] {
+				st.mins[i] = v
+			}
+			if v > st.maxs[i] {
+				st.maxs[i] = v
+			}
+		}
+	}
+	// An aggregate-only query over zero tuples still yields one row.
+	if len(ex.q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &aggState{
+			counts: make([]int64, n), sums: make([]int64, n),
+			mins: make([]int64, n), maxs: make([]int64, n),
+		}
+		order = append(order, "")
+	}
+
+	for _, si := range ex.q.Select {
+		res.Columns = append(res.Columns, si.String())
+	}
+	for _, k := range order {
+		st := groups[k]
+		row := make([]int64, n)
+		for i, si := range ex.q.Select {
+			switch si.Agg {
+			case sql.AggNone:
+				if st.rep != nil {
+					row[i] = ex.valueOf(st.rep, si.Column)
+				}
+			case sql.AggCount:
+				row[i] = st.counts[i]
+			case sql.AggSum:
+				row[i] = st.sums[i]
+			case sql.AggAvg:
+				if st.counts[i] > 0 {
+					row[i] = st.sums[i] / st.counts[i]
+				}
+			case sql.AggMin:
+				if st.counts[i] > 0 {
+					row[i] = st.mins[i]
+				}
+			case sql.AggMax:
+				if st.counts[i] > 0 {
+					row[i] = st.maxs[i]
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// orderBy sorts result rows by the ORDER BY columns that are present in the
+// output; absent columns are skipped (their sort was still costed).
+func (ex *exec) orderBy(res *Result) {
+	type keyPos struct {
+		pos  int
+		desc bool
+	}
+	var keys []keyPos
+	for _, o := range ex.q.OrderBy {
+		for i, c := range res.Columns {
+			if c == o.Column {
+				keys = append(keys, keyPos{i, o.Desc})
+				break
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, b := res.Rows[i][k.pos], res.Rows[j][k.pos]
+			if a == b {
+				continue
+			}
+			if k.desc {
+				return a > b
+			}
+			return a < b
+		}
+		return false
+	})
+}
+
+// leadRange is one [lo, hi] key interval to probe on the index lead column.
+type leadRange struct{ lo, hi int64 }
+
+// leadRanges intersects the sargable predicates on the lead column into
+// probe intervals. IN lists become one point probe per value.
+func leadRanges(preds []sql.Predicate, lead string) []leadRange {
+	lo, hi := int64(math.MinInt64+1), int64(math.MaxInt64)
+	var points []int64
+	for _, p := range preds {
+		if p.Column != lead || !p.Op.Sargable() {
+			continue
+		}
+		switch p.Op {
+		case sql.OpEq:
+			if p.Value > lo {
+				lo = p.Value
+			}
+			if p.Value < hi {
+				hi = p.Value
+			}
+		case sql.OpLt:
+			if p.Value-1 < hi {
+				hi = p.Value - 1
+			}
+		case sql.OpLe:
+			if p.Value < hi {
+				hi = p.Value
+			}
+		case sql.OpGt:
+			if p.Value+1 > lo {
+				lo = p.Value + 1
+			}
+		case sql.OpGe:
+			if p.Value > lo {
+				lo = p.Value
+			}
+		case sql.OpBetween:
+			if p.Value > lo {
+				lo = p.Value
+			}
+			if p.Hi < hi {
+				hi = p.Hi
+			}
+		case sql.OpIn:
+			points = append(points, p.Values...)
+		}
+	}
+	if len(points) > 0 {
+		var out []leadRange
+		for _, v := range points {
+			if v >= lo && v <= hi {
+				out = append(out, leadRange{v, v})
+			}
+		}
+		return out
+	}
+	if lo > hi {
+		return nil
+	}
+	return []leadRange{{lo, hi}}
+}
+
+// matchAll evaluates every predicate for one row; NULL never matches.
+func matchAll(t *storage.Table, preds []sql.Predicate, rid int32) bool {
+	for _, p := range preds {
+		v := t.Value(unqualify(p.Column), rid)
+		if v == storage.Null {
+			return false
+		}
+		if !matchPred(p, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchPred(p sql.Predicate, v int64) bool {
+	switch p.Op {
+	case sql.OpEq:
+		return v == p.Value
+	case sql.OpNe:
+		return v != p.Value
+	case sql.OpLt:
+		return v < p.Value
+	case sql.OpLe:
+		return v <= p.Value
+	case sql.OpGt:
+		return v > p.Value
+	case sql.OpGe:
+		return v >= p.Value
+	case sql.OpBetween:
+		return v >= p.Value && v <= p.Hi
+	case sql.OpIn:
+		for _, x := range p.Values {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func hasAgg(q *sql.Query) bool {
+	for _, si := range q.Select {
+		if si.Agg != sql.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func unqualify(qualified string) string {
+	for i := 0; i < len(qualified); i++ {
+		if qualified[i] == '.' {
+			return qualified[i+1:]
+		}
+	}
+	return qualified
+}
+
+func seqPages(s *catalog.Schema, table string, rows int, pageSize int) float64 {
+	tbl := s.Table(table)
+	if tbl == nil {
+		return 1
+	}
+	p := float64(rows) * float64(tbl.TupleWidth()) / float64(pageSize)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func sortCost(rows, cpuOp float64) float64 {
+	if rows < 2 {
+		return 0
+	}
+	return 2 * rows * math.Log2(rows) * cpuOp
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySetup is shared across tests; Setup construction trains IABART once.
+var tinySetup = NewSetup("tpch", 1, ScaleTiny)
+
+func TestNewSetupScales(t *testing.T) {
+	if tinySetup.Name != "TPC-H 1GB" {
+		t.Errorf("Name = %q", tinySetup.Name)
+	}
+	if tinySetup.WorkloadN != 10 || tinySetup.Runs != 2 {
+		t.Errorf("tiny scale misconfigured: %+v", tinySetup)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark should panic")
+		}
+	}()
+	NewSetup("nope", 1, ScaleTiny)
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats([]float64{3, 1, 2, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("Median = %f", s.Median)
+	}
+	if z := NewStats(nil); z.N != 0 {
+		t.Errorf("empty Stats = %+v", z)
+	}
+}
+
+func TestRunMotivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	r, err := RunMotivation(tinySetup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineRed <= 0 {
+		t.Errorf("baseline reduction = %f, want > 0", r.BaselineRed)
+	}
+	if !strings.Contains(r.String(), "Fig. 1") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunMainResultSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	r, err := RunMainResult(tinySetup, []string{"DQN-b", "Heuristic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 advisors × 6 injectors cells.
+	if len(r.Cells) != 12 {
+		t.Fatalf("cells = %d, want 12", len(r.Cells))
+	}
+	// Heuristic is immune: AD identically 0 under every injector (§2.1).
+	for _, inj := range []string{"TP", "FSM", "I-R", "I-L", "P-C", "PIPA"} {
+		c := r.Cell("Heuristic", inj)
+		if c == nil {
+			t.Fatalf("missing cell Heuristic/%s", inj)
+		}
+		if c.Stats.Mean != 0 || c.Stats.Max != 0 {
+			t.Errorf("Heuristic AD under %s = %+v, want 0", inj, c.Stats)
+		}
+	}
+	if _, ok := r.RD["DQN-b"]; !ok {
+		t.Error("missing RD entry")
+	}
+	out := r.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Fig. 7") {
+		t.Error("String() missing sections")
+	}
+}
+
+func TestRunGeneratorQuality(t *testing.T) {
+	r, err := RunGeneratorQuality(tinySetup, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(r.Rows))
+	}
+	byName := map[string]GeneratorRow{}
+	for _, row := range r.Rows {
+		byName[row.Method] = row
+	}
+	// FSM-constrained rows are perfectly grammatical; noisy rows are not.
+	for _, m := range []string{"ST", "DT", "IABART", "IABART w/o Task1", "IABART w/o Task2", "IABART w/o Task1&2"} {
+		if byName[m].GAC != 1 {
+			t.Errorf("%s GAC = %f, want 1", m, byName[m].GAC)
+		}
+	}
+	if byName["GPT-3.5-sim"].GAC >= 1 {
+		t.Errorf("GPT-3.5-sim GAC = %f, want < 1", byName["GPT-3.5-sim"].GAC)
+	}
+	if byName["IABART"].IAC <= byName["DT"].IAC {
+		t.Errorf("IABART IAC %f should beat DT %f", byName["IABART"].IAC, byName["DT"].IAC)
+	}
+}
+
+func TestRunProbingParamsBetaSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	r, err := RunProbingParams(tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AlphaSweep) != 1 || len(r.BetaSweep) != 2 {
+		t.Fatalf("sweep sizes: %d alphas, %d betas", len(r.AlphaSweep), len(r.BetaSweep))
+	}
+	// Probing an opaque-box advisor is stochastic (its inference trials
+	// advance internal state), so even β = 0 carries sampling noise against
+	// the reference; bounds only.
+	for _, p := range r.BetaSweep {
+		if p.ErrorRate < 0 || p.ErrorRate > 1 {
+			t.Errorf("beta=%f error = %f out of [0,1]", p.Beta, p.ErrorRate)
+		}
+		if p.ConvergeEpoch < 1 {
+			t.Errorf("beta=%f converge epoch = %f", p.Beta, p.ConvergeEpoch)
+		}
+	}
+}
+
+func TestSegmentError(t *testing.T) {
+	a := [3][]string{{"x"}, {"y"}, {"z"}}
+	same := segmentError(a, a)
+	if same != 0 {
+		t.Errorf("identical segments error = %f", same)
+	}
+	b := [3][]string{{"y"}, {"x"}, {"z"}}
+	if got := segmentError(a, b); got <= 0.5 {
+		t.Errorf("swapped segments error = %f, want > 0.5", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "[]" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{1, 1, 2, 2, 3, 3, 4, 4})
+	if !strings.Contains(got, "1.00") || !strings.Contains(got, "4.00") {
+		t.Errorf("sparkline = %q", got)
+	}
+}
+
+func TestTPCDSPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-benchmark smoke test")
+	}
+	s := NewSetup("tpcds", 1, ScaleTiny)
+	st := s.Tester()
+	w := s.NormalWorkload(0)
+	ia, err := s.TrainAdvisor("DQN-b", 0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := st.StressTest(ia, injectorByName(st, "PIPA"), w, s.PipaCfg.Na)
+	if res.BaselineCost <= 0 {
+		t.Fatalf("degenerate TPC-DS run: %+v", res)
+	}
+	if len(res.BaselineIndexes) == 0 {
+		t.Error("no baseline recommendation on TPC-DS")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipa"
+)
+
+// MainCell is one (advisor, injector) box of Fig. 7: the AD sample across
+// runs.
+type MainCell struct {
+	Advisor  string
+	Injector string
+	ADs      []float64
+	Stats    Stats
+}
+
+// MainResult is the Fig. 7 + Table 1 data for one benchmark instance.
+type MainResult struct {
+	Setup    string
+	Cells    []MainCell
+	RD       map[string]float64 // Table 1: mean RD per advisor (PIPA vs FSM)
+	Advisors []string
+}
+
+// RunMainResult reproduces the main experiment (§6.2): for every advisor and
+// every injector, train on a fresh normal workload, poison, retrain, and
+// measure AD; RD compares PIPA against the random FSM injection run-by-run
+// (Def. 2.5).
+func RunMainResult(s *Setup, advisors []string) (*MainResult, error) {
+	st := s.Tester()
+	injectors := pipa.Injectors(st)
+	res := &MainResult{Setup: s.Name, RD: make(map[string]float64), Advisors: advisors}
+
+	cells := make(map[string]*MainCell)
+	for _, a := range advisors {
+		for _, inj := range injectors {
+			cells[a+"|"+inj.Name()] = &MainCell{Advisor: a, Injector: inj.Name()}
+		}
+	}
+
+	for run := 0; run < s.Runs; run++ {
+		w := s.NormalWorkload(run)
+		for _, name := range advisors {
+			base, err := s.TrainAdvisor(name, run, w)
+			if err != nil {
+				return nil, err
+			}
+			for _, inj := range injectors {
+				victim, err := s.cloneOrRetrain(base, name, run, w)
+				if err != nil {
+					return nil, err
+				}
+				r := st.StressTest(victim, inj, w, s.PipaCfg.Na)
+				cell := cells[name+"|"+inj.Name()]
+				cell.ADs = append(cell.ADs, r.AD)
+			}
+		}
+	}
+
+	for _, a := range advisors {
+		for _, inj := range injectors {
+			cell := cells[a+"|"+inj.Name()]
+			cell.Stats = NewStats(cell.ADs)
+			res.Cells = append(res.Cells, *cell)
+		}
+		// Table 1: RD = mean over runs of AD(PIPA) - AD(FSM).
+		pipaCell, fsmCell := cells[a+"|PIPA"], cells[a+"|FSM"]
+		rd := 0.0
+		for i := range pipaCell.ADs {
+			rd += pipaCell.ADs[i] - fsmCell.ADs[i]
+		}
+		res.RD[a] = rd / float64(len(pipaCell.ADs))
+	}
+	return res, nil
+}
+
+// Cell returns the named cell, or nil.
+func (r *MainResult) Cell(advisor, injector string) *MainCell {
+	for i := range r.Cells {
+		if r.Cells[i].Advisor == advisor && r.Cells[i].Injector == injector {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// String renders the Fig. 7 boxes and Table 1 rows as text.
+func (r *MainResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 7 (AD distribution) — %s ==\n", r.Setup)
+	fmt.Fprintf(&b, "%-14s %-5s %8s %8s %8s %8s %8s\n", "advisor", "inj", "mean", "min", "median", "max", "std")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-14s %-5s %+8.3f %+8.3f %+8.3f %+8.3f %8.3f\n",
+			c.Advisor, c.Injector, c.Stats.Mean, c.Stats.Min, c.Stats.Median, c.Stats.Max, c.Stats.Std)
+	}
+	fmt.Fprintf(&b, "\n== Table 1 (RD per advisor) — %s ==\n", r.Setup)
+	for _, a := range r.Advisors {
+		fmt.Fprintf(&b, "%-14s RD = %+.3f\n", a, r.RD[a])
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6), mapped in DESIGN.md's experiment index. Every
+// driver is deterministic given its Setup and returns a printable result
+// that cmd/pipa-bench renders as the paper's rows/series.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/pipa"
+	"repro/internal/qgen"
+	"repro/internal/workload"
+)
+
+// Scale selects the experiment budget.
+type Scale int
+
+const (
+	// ScaleTiny runs in seconds: unit tests and smoke benches.
+	ScaleTiny Scale = iota
+	// ScaleFast is sized for CI and `go test -bench`: fewer runs, smaller
+	// training budgets, single-digit-minute wall clock.
+	ScaleFast
+	// ScaleFull approaches the paper's setting (10 runs, 400 trajectories,
+	// P = 20); hours of wall clock on one machine.
+	ScaleFull
+)
+
+// Setup bundles one benchmark instance and all experiment knobs.
+type Setup struct {
+	Name   string // e.g. "TPC-H 1GB"
+	Schema *catalog.Schema
+	WhatIf *cost.WhatIf
+	Env    *advisor.Env
+	Gen    *qgen.IABART
+
+	AdvCfg    advisor.Config
+	PipaCfg   pipa.Config
+	Runs      int
+	WorkloadN int
+	Seed      int64
+}
+
+// NewSetup prepares a benchmark instance. benchmark is "tpch" or "tpcds";
+// sf 1 or 10 matches the paper's "1GB"/"10GB" labels.
+func NewSetup(benchmark string, sf float64, scale Scale) *Setup {
+	var s *catalog.Schema
+	switch benchmark {
+	case "tpch":
+		s = catalog.TPCH(sf)
+	case "tpcds":
+		s = catalog.TPCDS(sf)
+	default:
+		panic(fmt.Sprintf("experiments: unknown benchmark %q", benchmark))
+	}
+	w := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, w)
+
+	acfg := advisor.DefaultConfig()
+	pcfg := pipa.DefaultConfig(s)
+	opts := qgen.DefaultOptions()
+	runs := 3
+	switch scale {
+	case ScaleTiny:
+		acfg.Trajectories = 25
+		acfg.InferTrajectories = 8
+		acfg.Hidden = 32
+		pcfg.P = 4
+		pcfg.Np = 6
+		pcfg.Na = 8
+		opts.CorpusSize = 60
+		opts.MaxAttempts = 5
+		runs = 2
+	case ScaleFast:
+		acfg.Trajectories = 200
+		acfg.InferTrajectories = 40
+		pcfg.P = 10
+		opts.CorpusSize = 150
+	case ScaleFull:
+		acfg.Trajectories = 400
+		acfg.InferTrajectories = 400
+		pcfg.P = 20
+		opts.CorpusSize = 400
+		runs = 10
+	}
+	gen := qgen.TrainIABART(qgen.NewFSM(s), w, nil, opts, 3)
+
+	label := fmt.Sprintf("%s %dGB", map[string]string{"tpch": "TPC-H", "tpcds": "TPC-DS"}[benchmark], int(sf))
+	setup := &Setup{
+		Name:   label,
+		Schema: s, WhatIf: w, Env: env, Gen: gen,
+		AdvCfg: acfg, PipaCfg: pcfg,
+		Runs: runs, WorkloadN: workload.DefaultSize(s), Seed: 1,
+	}
+	if scale == ScaleTiny {
+		setup.WorkloadN = 10
+	}
+	return setup
+}
+
+// Tester builds a stress tester with the setup's PIPA configuration.
+func (s *Setup) Tester() *pipa.StressTester {
+	return pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, s.PipaCfg)
+}
+
+// NormalWorkload generates the run-th normal workload.
+func (s *Setup) NormalWorkload(run int) *workload.Workload {
+	rng := rand.New(rand.NewSource(s.Seed*100000 + int64(run)))
+	return workload.GenerateNormal(s.Schema, workload.TemplatesFor(s.Schema), s.WorkloadN, rng)
+}
+
+// TrainAdvisor constructs and trains the named advisor for one run.
+func (s *Setup) TrainAdvisor(name string, run int, w *workload.Workload) (advisor.Advisor, error) {
+	cfg := s.AdvCfg
+	cfg.Seed = s.Seed*1000 + int64(run)
+	ia, err := registry.New(name, s.Env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ia.Train(w)
+	return ia, nil
+}
+
+// cloneOrRetrain returns an independent copy of a trained advisor when
+// supported, falling back to training a fresh one.
+func (s *Setup) cloneOrRetrain(ia advisor.Advisor, name string, run int, w *workload.Workload) (advisor.Advisor, error) {
+	if c, ok := ia.(advisor.Cloner); ok {
+		return c.CloneAdvisor(), nil
+	}
+	return s.TrainAdvisor(name, run, w)
+}
+
+// Stats summarizes a sample of AD values for one box of Fig. 7.
+type Stats struct {
+	Mean, Min, Q1, Median, Q3, Max, Std float64
+	N                                   int
+}
+
+// NewStats computes summary statistics.
+func NewStats(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	st := Stats{N: len(s), Min: s[0], Max: s[len(s)-1]}
+	for _, x := range s {
+		st.Mean += x
+	}
+	st.Mean /= float64(len(s))
+	for _, x := range s {
+		d := x - st.Mean
+		st.Std += d * d
+	}
+	st.Std = math.Sqrt(st.Std / float64(len(s)))
+	st.Q1 = quantile(s, 0.25)
+	st.Median = quantile(s, 0.5)
+	st.Q3 = quantile(s, 0.75)
+	return st
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,355 @@
+// Package nn is a minimal neural-network library: dense multilayer
+// perceptrons over float64 vectors with backpropagation and Adam. It is the
+// stand-in for the deep-learning stack (PyTorch on GPU servers) the paper's
+// learned index advisors are built on — the DQN/DRLindex Q-networks and
+// SWIRL's PPO actor-critic (internal/advisor) train on it.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative given pre-activation x and post-activation y.
+func (a Activation) derivative(x, y float64) float64 {
+	switch a {
+	case ReLU:
+		if x <= 0 {
+			return 0
+		}
+		return 1
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// layer is one dense layer with Adam state.
+type layer struct {
+	in, out int
+	w       []float64 // out×in, row-major
+	b       []float64
+	act     Activation
+
+	gw, gb []float64 // accumulated gradients
+	mw, vw []float64 // Adam moments for w
+	mb, vb []float64 // Adam moments for b
+}
+
+func newLayer(in, out int, act Activation, rng *rand.Rand) *layer {
+	l := &layer{
+		in: in, out: out, act: act,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	// He/Xavier-style scaled initialization.
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+// MLP is a feed-forward network. It is not safe for concurrent use.
+type MLP struct {
+	layers []*layer
+	step   int
+}
+
+// NewMLP builds a network with the given layer sizes (len >= 2): hidden
+// layers use hiddenAct, the output layer uses outAct.
+func NewMLP(rng *rand.Rand, sizes []int, hiddenAct, outAct Activation) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	n := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = outAct
+		}
+		n.layers = append(n.layers, newLayer(sizes[i], sizes[i+1], act, rng))
+	}
+	// Damp the output layer's initialization so fresh networks emit
+	// near-zero values: value/Q heads then start below the reward scale
+	// instead of drowning it in noise.
+	last := n.layers[len(n.layers)-1]
+	for i := range last.w {
+		last.w[i] *= 0.1
+	}
+	return n
+}
+
+// InputSize returns the expected input dimensionality.
+func (n *MLP) InputSize() int { return n.layers[0].in }
+
+// OutputSize returns the output dimensionality.
+func (n *MLP) OutputSize() int { return n.layers[len(n.layers)-1].out }
+
+// Tape records per-layer inputs and pre-activations of one forward pass, for
+// backpropagation.
+type Tape struct {
+	inputs [][]float64 // input to each layer
+	pre    [][]float64 // pre-activation of each layer
+	post   [][]float64 // post-activation of each layer
+}
+
+// Forward runs the network and returns the output (no tape).
+func (n *MLP) Forward(x []float64) []float64 {
+	out, _ := n.forward(x, false)
+	return out
+}
+
+// ForwardTape runs the network recording a tape for Backward.
+func (n *MLP) ForwardTape(x []float64) ([]float64, *Tape) {
+	return n.forward(x, true)
+}
+
+func (n *MLP) forward(x []float64, record bool) ([]float64, *Tape) {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.InputSize()))
+	}
+	var tape *Tape
+	if record {
+		tape = &Tape{}
+	}
+	cur := x
+	for _, l := range n.layers {
+		pre := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				sum += row[i] * v
+			}
+			pre[o] = sum
+		}
+		post := make([]float64, l.out)
+		for o, p := range pre {
+			post[o] = l.act.apply(p)
+		}
+		if record {
+			tape.inputs = append(tape.inputs, cur)
+			tape.pre = append(tape.pre, pre)
+			tape.post = append(tape.post, post)
+		}
+		cur = post
+	}
+	return cur, tape
+}
+
+// Backward accumulates parameter gradients for one recorded pass given
+// dLoss/dOutput, and returns dLoss/dInput.
+func (n *MLP) Backward(tape *Tape, gradOut []float64) []float64 {
+	if len(gradOut) != n.OutputSize() {
+		panic(fmt.Sprintf("nn: grad size %d, want %d", len(gradOut), n.OutputSize()))
+	}
+	grad := append([]float64(nil), gradOut...)
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		in := tape.inputs[li]
+		pre := tape.pre[li]
+		post := tape.post[li]
+		// delta = grad ⊙ act'(pre)
+		delta := make([]float64, l.out)
+		for o := range delta {
+			delta[o] = grad[o] * l.act.derivative(pre[o], post[o])
+		}
+		// accumulate grads
+		for o := 0; o < l.out; o++ {
+			gRow := l.gw[o*l.in : (o+1)*l.in]
+			d := delta[o]
+			for i, v := range in {
+				gRow[i] += d * v
+			}
+			l.gb[o] += d
+		}
+		// propagate
+		next := make([]float64, l.in)
+		for o := 0; o < l.out; o++ {
+			row := l.w[o*l.in : (o+1)*l.in]
+			d := delta[o]
+			for i := range next {
+				next[i] += d * row[i]
+			}
+		}
+		grad = next
+	}
+	return grad
+}
+
+// Adam hyperparameters.
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// Step applies one Adam update with the accumulated gradients (optionally
+// averaged over batch size by the caller pre-scaling) and zeroes them.
+func (n *MLP) Step(lr float64) {
+	n.step++
+	bc1 := 1 - math.Pow(adamBeta1, float64(n.step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(n.step))
+	for _, l := range n.layers {
+		for i, g := range l.gw {
+			l.mw[i] = adamBeta1*l.mw[i] + (1-adamBeta1)*g
+			l.vw[i] = adamBeta2*l.vw[i] + (1-adamBeta2)*g*g
+			l.w[i] -= lr * (l.mw[i] / bc1) / (math.Sqrt(l.vw[i]/bc2) + adamEps)
+			l.gw[i] = 0
+		}
+		for i, g := range l.gb {
+			l.mb[i] = adamBeta1*l.mb[i] + (1-adamBeta1)*g
+			l.vb[i] = adamBeta2*l.vb[i] + (1-adamBeta2)*g*g
+			l.b[i] -= lr * (l.mb[i] / bc1) / (math.Sqrt(l.vb[i]/bc2) + adamEps)
+			l.gb[i] = 0
+		}
+	}
+}
+
+// ZeroGrad discards accumulated gradients.
+func (n *MLP) ZeroGrad() {
+	for _, l := range n.layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// Params returns a flat copy of all parameters (weights then biases, layer
+// by layer). Used by the -m advisor variants to average trajectories.
+func (n *MLP) Params() []float64 {
+	var out []float64
+	for _, l := range n.layers {
+		out = append(out, l.w...)
+		out = append(out, l.b...)
+	}
+	return out
+}
+
+// SetParams installs a flat parameter vector produced by Params.
+func (n *MLP) SetParams(p []float64) {
+	idx := 0
+	for _, l := range n.layers {
+		idx += copy(l.w, p[idx:idx+len(l.w)])
+		idx += copy(l.b, p[idx:idx+len(l.b)])
+	}
+	if idx != len(p) {
+		panic(fmt.Sprintf("nn: SetParams got %d values, want %d", len(p), idx))
+	}
+}
+
+// Clone returns a deep copy (parameters and optimizer state).
+func (n *MLP) Clone() *MLP {
+	c := &MLP{step: n.step}
+	for _, l := range n.layers {
+		nl := &layer{
+			in: l.in, out: l.out, act: l.act,
+			w:  append([]float64(nil), l.w...),
+			b:  append([]float64(nil), l.b...),
+			gw: make([]float64, len(l.gw)),
+			gb: make([]float64, len(l.gb)),
+			mw: append([]float64(nil), l.mw...),
+			vw: append([]float64(nil), l.vw...),
+			mb: append([]float64(nil), l.mb...),
+			vb: append([]float64(nil), l.vb...),
+		}
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// CopyParamsFrom copies parameters (not optimizer state) from o; the
+// networks must have identical shapes. Used for DQN target networks.
+func (n *MLP) CopyParamsFrom(o *MLP) { n.SetParams(o.Params()) }
+
+// Softmax returns the softmax of logits, numerically stabilized. Entries at
+// indices where mask is false receive probability 0; at least one index must
+// be unmasked. A nil mask means all entries are valid.
+func Softmax(logits []float64, mask []bool) []float64 {
+	max := math.Inf(-1)
+	for i, v := range logits {
+		if (mask == nil || mask[i]) && v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		if mask == nil || mask[i] {
+			out[i] = math.Exp(v - max)
+			sum += out[i]
+		}
+	}
+	if sum == 0 {
+		panic("nn: Softmax with no valid entries")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from a probability vector.
+func SampleCategorical(probs []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	last := 0
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if r < acc {
+			return i
+		}
+	}
+	return last
+}
+
+// Argmax returns the index of the largest unmasked value. A nil mask means
+// all entries are valid; it returns -1 when everything is masked.
+func Argmax(vals []float64, mask []bool) int {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range vals {
+		if (mask == nil || mask[i]) && v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

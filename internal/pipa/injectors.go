@@ -1,0 +1,165 @@
+package pipa
+
+import (
+	"repro/internal/advisor"
+	"repro/internal/qgen"
+	"repro/internal/workload"
+)
+
+// Injector produces an injection workload Ŵ for a victim advisor. The six
+// implementations are the paper's §6.2 line-up: TP, FSM, I-R, I-L, P-C and
+// PIPA itself.
+type Injector interface {
+	Name() string
+	// BuildInjection may interact with the victim (probing) but only
+	// through the opaque-box interface — except the clear-box P-C.
+	BuildInjection(ia advisor.Advisor, size int) *workload.Workload
+}
+
+// TPInjector generates queries from the target workload's own benchmark
+// templates with uniform-random frequencies — the workload-variant injection
+// SWIRL itself trains with [19]. Typically helps rather than harms (negative
+// AD), making it an unqualified evaluator.
+type TPInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (TPInjector) Name() string { return "TP" }
+
+// BuildInjection implements Injector.
+func (j TPInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+	rng := j.Tester.rng(10)
+	return workload.GenerateNormal(j.Tester.Schema, workload.TemplatesFor(j.Tester.Schema), size, rng)
+}
+
+// FSMInjector generates random FSM queries with unit frequency [43] — the
+// paper's random-injection reference against which RD is measured.
+type FSMInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (FSMInjector) Name() string { return "FSM" }
+
+// BuildInjection implements Injector.
+func (j FSMInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+	rng := j.Tester.rng(11)
+	f := qgen.NewFSM(j.Tester.Schema)
+	w := &workload.Workload{}
+	for i := 0; i < size; i++ {
+		w.Add(f.Generate(rng), 1)
+	}
+	return w
+}
+
+// IRInjector uses IABART with randomly specified columns (I-R): index-aware
+// queries without any preference information.
+type IRInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (IRInjector) Name() string { return "I-R" }
+
+// BuildInjection implements Injector.
+func (j IRInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+	rng := j.Tester.rng(12)
+	cols := j.Tester.Schema.IndexableColumnNames()
+	w := &workload.Workload{}
+	for attempts := 0; w.Len() < size && attempts < size*10; attempts++ {
+		cs := sampleUniform(cols, j.Tester.Cfg.NumCols, rng)
+		if q, err := j.Tester.Gen.Generate(cs, j.Tester.Cfg.RewardTarget, rng); err == nil && q != nil {
+			w.Add(q, 1)
+		}
+	}
+	return w
+}
+
+// ILInjector targets the Low-ranked columns (I-L): the bottom 50% of the
+// estimated preference. The paper shows candidate-filtering heuristics
+// absorb much of its effect (§6.2).
+type ILInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (ILInjector) Name() string { return "I-L" }
+
+// BuildInjection implements Injector.
+func (j ILInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
+	rng := j.Tester.rng(13)
+	pref := j.Tester.Probe(ia)
+	low := pref.Ranking[len(pref.Ranking)/2:]
+	w := &workload.Workload{}
+	for attempts := 0; w.Len() < size && attempts < size*10; attempts++ {
+		cs := sampleUniform(low, j.Tester.Cfg.NumCols, rng)
+		if q, err := j.Tester.Gen.Generate(cs, j.Tester.Cfg.RewardTarget, rng); err == nil && q != nil {
+			w.Add(q, 1)
+		}
+	}
+	return w
+}
+
+// PCInjector is the clear-box variant of PIPA (P-C): the column ranking
+// comes from the advisor's true parameters via advisor.Introspector instead
+// of probing. It serves as the near-optimal reference.
+type PCInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (PCInjector) Name() string { return "P-C" }
+
+// BuildInjection implements Injector.
+func (j PCInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
+	intro, ok := ia.(advisor.Introspector)
+	if !ok {
+		// No introspection available: fall back to opaque-box PIPA.
+		return PIPAInjector{Tester: j.Tester}.BuildInjection(ia, size)
+	}
+	prefs := intro.ColumnPreferences()
+	cols := j.Tester.Schema.IndexableColumnNames()
+	pref := &Preference{K: prefs}
+	pref.Ranking = append([]string(nil), cols...)
+	sortByScore(pref.Ranking, prefs)
+	saved := j.Tester.Cfg.Na
+	j.Tester.Cfg.Na = size
+	defer func() { j.Tester.Cfg.Na = saved }()
+	return j.Tester.Inject(pref)
+}
+
+// PIPAInjector is the full opaque-box PIPA: probe, then inject.
+type PIPAInjector struct {
+	Tester *StressTester
+}
+
+// Name implements Injector.
+func (PIPAInjector) Name() string { return "PIPA" }
+
+// BuildInjection implements Injector.
+func (j PIPAInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
+	pref := j.Tester.Probe(ia)
+	saved := j.Tester.Cfg.Na
+	j.Tester.Cfg.Na = size
+	defer func() { j.Tester.Cfg.Na = saved }()
+	return j.Tester.Inject(pref)
+}
+
+// Injectors returns the paper's six injectors over one stress tester.
+func Injectors(st *StressTester) []Injector {
+	return []Injector{
+		TPInjector{st}, FSMInjector{st}, IRInjector{st},
+		ILInjector{st}, PCInjector{st}, PIPAInjector{st},
+	}
+}
+
+// sortByScore sorts columns by descending score with deterministic ties.
+func sortByScore(cols []string, score map[string]float64) {
+	// Insertion sort keeps this dependency-free and stable; L <= ~425.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && score[cols[j]] > score[cols[j-1]]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package pipa
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/advisor"
+	"repro/internal/workload"
+)
+
+// Probe implements Algorithm 1: it estimates the opaque-box advisor's
+// indexing preference by iteratively submitting generated probing workloads,
+// observing the recommended index configurations, and accumulating the
+// expectation K(l) = E[θ̂(l, PW) · R̂(l, PW)] (Eqs. 5-8). The column-sampling
+// distribution µ adapts per Eq. 9: columns with established high rewards and
+// columns that persistently yield nothing are both sampled less, steering
+// the budget toward informative probes.
+func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
+	rng := st.rng(1)
+	cols := st.Schema.IndexableColumnNames()
+	L := len(cols)
+	idx := make(map[string]int, L)
+	for i, c := range cols {
+		idx[c] = i
+	}
+
+	mu := make([]float64, L) // sampling distribution µ
+	for i := range mu {
+		mu[i] = 1.0 / float64(L)
+	}
+	kSum := make([]float64, L)        // Σ_p θ̂·R̂ contributions
+	rewardSum := make([]float64, L)   // Σ_{i<p} R̂(l, s^i) for Eq. 9
+	probedEmpty := make([]float64, L) // probes that yielded no reward (β term)
+
+	pref := &Preference{K: make(map[string]float64, L)}
+
+	for p := 0; p < st.Cfg.P; p++ {
+		// Build the probing workload PW_p (Alg. 1 lines 3-6).
+		pw := &workload.Workload{}
+		probedCols := make(map[int]bool)
+		for i := 0; i < st.Cfg.Np; i++ {
+			cs := sampleColumns(cols, mu, st.Cfg.NumCols, rng)
+			if len(cs) == 0 {
+				break
+			}
+			q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng)
+			if err != nil || q == nil {
+				continue
+			}
+			pw.Add(q, 1)
+			for _, c := range cs {
+				probedCols[idx[c]] = true
+			}
+		}
+		if pw.Len() == 0 {
+			break
+		}
+
+		// Observe the advisor's output configuration (line 7).
+		rec := ia.Recommend(pw)
+
+		// Update K by Eq. 8: every lead column of the recommended indexes
+		// shares the workload's relative cost reduction equally.
+		reduction := st.WhatIf.Reduction(pw.Queries, pw.Freqs, rec)
+		recCols := make(map[int]bool, len(rec))
+		if len(rec) > 0 && reduction > 0 {
+			share := reduction / float64(len(rec))
+			for _, ix := range rec {
+				ci, ok := idx[ix.LeadColumn()]
+				if !ok {
+					continue
+				}
+				recCols[ci] = true
+				kSum[ci] += share
+				rewardSum[ci] += share
+			}
+		}
+		for ci := range probedCols {
+			if !recCols[ci] {
+				probedEmpty[ci]++
+			}
+		}
+
+		// Update µ by Eq. 9.
+		rounds := float64(p + 1)
+		total := 0.0
+		for i := range mu {
+			v := mu[i] - st.Cfg.Alpha*(rewardSum[i]/rounds) - st.Cfg.Beta*probedEmpty[i]
+			if v < 0 {
+				v = 0 // min(·, 0) pruning: stop probing this column
+			}
+			mu[i] = v
+			total += v
+		}
+		if total <= 0 {
+			// Everything pruned: probing has converged; stop early.
+			pref.EpochsRun = p + 1
+			break
+		}
+		for i := range mu {
+			mu[i] /= total
+		}
+
+		pref.EpochsRun = p + 1
+		pref.SegmentsByEpoch = append(pref.SegmentsByEpoch, st.segmentSnapshot(cols, kSum, rounds))
+	}
+
+	// Final ranking by K = (1/P) Σ θ̂·R̂ (ties broken by column order for
+	// determinism).
+	order := make([]int, L)
+	for i := range order {
+		order[i] = i
+	}
+	rounds := float64(pref.EpochsRun)
+	if rounds == 0 {
+		rounds = 1
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return kSum[order[a]] > kSum[order[b]]
+	})
+	pref.Ranking = make([]string, L)
+	for i, o := range order {
+		pref.Ranking[i] = cols[o]
+		pref.K[cols[o]] = kSum[o] / rounds
+	}
+	return pref
+}
+
+// segmentSnapshot computes the (top, mid, low) membership under the current
+// K estimates, for convergence tracking.
+func (st *StressTester) segmentSnapshot(cols []string, kSum []float64, rounds float64) [3][]string {
+	order := make([]int, len(cols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return kSum[order[a]] > kSum[order[b]] })
+	ranking := make([]string, len(cols))
+	k := make(map[string]float64, len(cols))
+	for i, o := range order {
+		ranking[i] = cols[o]
+		k[cols[o]] = kSum[o] / rounds
+	}
+	tmp := &Preference{Ranking: ranking, K: k}
+	top, mid, low := st.Segments(tmp)
+	return [3][]string{top, mid, low}
+}
+
+// sampleColumns draws k distinct columns from the distribution mu.
+func sampleColumns(cols []string, mu []float64, k int, rng *rand.Rand) []string {
+	type wc struct {
+		i int
+		w float64
+	}
+	avail := make([]wc, 0, len(cols))
+	total := 0.0
+	for i, w := range mu {
+		if w > 0 {
+			avail = append(avail, wc{i, w})
+			total += w
+		}
+	}
+	var out []string
+	for len(out) < k && len(avail) > 0 && total > 0 {
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := len(avail) - 1
+		for j, a := range avail {
+			acc += a.w
+			if r < acc {
+				pick = j
+				break
+			}
+		}
+		out = append(out, cols[avail[pick].i])
+		total -= avail[pick].w
+		avail = append(avail[:pick], avail[pick+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package pipa
+
+import (
+	"repro/internal/advisor"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one stress test of one advisor by one injector.
+type Result struct {
+	Injector string
+	Advisor  string
+
+	BaselineCost float64 // c_b: target-workload cost under the well-trained IA (Def. 2.2)
+	PoisonedCost float64 // cost after retraining on {W, Ŵ}
+	AD           float64 // Absolute performance Degradation (Def. 2.3)
+
+	BaselineIndexes []string // recommended configuration before poisoning
+	PoisonedIndexes []string // recommended configuration after poisoning
+	InjectionSize   int
+}
+
+// StressTest runs the full protocol of Fig. 1/Def. 2.3 for an
+// already-trained advisor: record the baseline, build the injection, retrain
+// the advisor on the merged workload, and measure the degradation on the
+// unchanged target workload.
+//
+// The advisor must already be trained on w (callers typically train once and
+// stress-test copies or retrain sequences). StressTest mutates the advisor
+// (it retrains it) — run order matters.
+func (st *StressTester) StressTest(ia advisor.Advisor, inj Injector, w *workload.Workload, injSize int) Result {
+	res := Result{Injector: inj.Name(), Advisor: ia.Name(), InjectionSize: injSize}
+
+	base := ia.Recommend(w)
+	res.BaselineIndexes = indexKeys(base)
+	res.BaselineCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, base)
+
+	tw := inj.BuildInjection(ia, injSize)
+	res.InjectionSize = tw.Len()
+
+	ia.Retrain(w.Merge(tw))
+
+	poisoned := ia.Recommend(w)
+	res.PoisonedIndexes = indexKeys(poisoned)
+	res.PoisonedCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, poisoned)
+
+	if res.BaselineCost > 0 {
+		res.AD = (res.PoisonedCost - res.BaselineCost) / res.BaselineCost
+	}
+	return res
+}
+
+// RD computes the Relative performance Degradation (Def. 2.5): how much the
+// toxic injector's degradation exceeds the random injector's on otherwise
+// identical runs.
+func RD(toxic, random Result) float64 { return toxic.AD - random.AD }
+
+func indexKeys(idx []cost.Index) []string {
+	out := make([]string, len(idx))
+	for i, ix := range idx {
+		out[i] = ix.Key()
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+
+	"repro/internal/workload"
+)
+
+// Generator is anything that can emit SQL text for a target column set and
+// reward threshold — the contract Table 3 evaluates. Output may be invalid
+// SQL (that is what GAC measures).
+type Generator interface {
+	Name() string
+	GenerateSQL(cols []string, reward float64, rng *rand.Rand) string
+}
+
+// ST is the simple-template baseline: a query containing only WHERE filter
+// clauses over the specified columns (§6.7). Grammatical by construction but
+// blind to the actual index behavior and nearly token-identical across
+// generations.
+type ST struct {
+	Schema *catalog.Schema
+}
+
+// Name implements Generator.
+func (ST) Name() string { return "ST" }
+
+// GenerateSQL implements Generator.
+func (g ST) GenerateSQL(cols []string, _ float64, rng *rand.Rand) string {
+	byTable := make(map[string][]*catalog.Column)
+	order := []string{}
+	for _, c := range cols {
+		col := g.Schema.Column(c)
+		if col == nil {
+			continue
+		}
+		if len(byTable[col.Table]) == 0 {
+			order = append(order, col.Table)
+		}
+		byTable[col.Table] = append(byTable[col.Table], col)
+	}
+	if len(order) == 0 {
+		return "SELECT *"
+	}
+	// Single-table only: keep the table holding the most target columns.
+	best := order[0]
+	for _, t := range order {
+		if len(byTable[t]) > len(byTable[best]) {
+			best = t
+		}
+	}
+	var conds []string
+	for _, col := range byTable[best] {
+		lo, hi := g.Schema.ColumnDomain(col.QualifiedName())
+		// The simple template does not tweak predicate values: it always
+		// probes the domain midpoint, so its token stream is maximally
+		// repetitive (the near-zero Distinct row of Table 3).
+		conds = append(conds, fmt.Sprintf("%s = %d", col.QualifiedName(), lo+(hi-lo)/2))
+	}
+	_ = rng
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s", best, strings.Join(conds, " AND "))
+}
+
+// DT is the benchmark-template baseline: it picks the benchmark template
+// whose filter columns overlap the specified set the most and populates it
+// (§6.7). The template's own structure decides the optimal index, so IAC is
+// low.
+type DT struct {
+	Schema    *catalog.Schema
+	Templates []workload.Template
+}
+
+// NewDT builds the baseline over the schema's benchmark suite.
+func NewDT(s *catalog.Schema) DT {
+	return DT{Schema: s, Templates: workload.TemplatesFor(s)}
+}
+
+// Name implements Generator.
+func (DT) Name() string { return "DT" }
+
+// GenerateSQL implements Generator.
+func (g DT) GenerateSQL(cols []string, _ float64, rng *rand.Rand) string {
+	colSet := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+	bestIdx, bestOverlap := 0, -1
+	// Template instantiation is cheap; measure overlap on a sample.
+	for i, t := range g.Templates {
+		q := t.Instantiate(g.Schema, rng)
+		overlap := 0
+		for _, c := range q.FilterColumns() {
+			if colSet[c] {
+				overlap++
+			}
+		}
+		if overlap > bestOverlap {
+			bestIdx, bestOverlap = i, overlap
+		}
+	}
+	return g.Templates[bestIdx].Instantiate(g.Schema, rng).String()
+}
+
+// Noisy wraps a generator with an unconstrained decoder's failure modes: a
+// configurable rate of grammar corruption and no verification loop. It
+// stands in for the GPT-3.5/GPT-4 rows of Table 3, whose observable
+// signature is GAC < 1 with moderate IAC (see DESIGN.md §2.3).
+type Noisy struct {
+	Inner   *IABART
+	ErrRate float64
+	Label   string
+}
+
+// Name implements Generator.
+func (n Noisy) Name() string { return n.Label }
+
+// GenerateSQL implements Generator.
+func (n Noisy) GenerateSQL(cols []string, reward float64, rng *rand.Rand) string {
+	// No verification loop: compose once, keep whatever comes out.
+	tables, tableCols := n.Inner.usableColumns(cols)
+	var text string
+	if len(tables) == 0 {
+		text = n.Inner.FSM.Generate(rng).String()
+	} else {
+		sel := selForTarget(reward)
+		q := n.Inner.compose(tables, tableCols, sel, sel*2, rng)
+		text = q.String()
+	}
+	if rng.Float64() < n.ErrRate {
+		text = corrupt(text, rng)
+	}
+	return text
+}
+
+// corrupt injects one of the unconstrained-decoder grammar failures.
+func corrupt(text string, rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		// Hallucinated column.
+		return strings.Replace(text, "WHERE ", "WHERE imaginary_col = 1 AND ", 1)
+	case 1:
+		// Dropped FROM keyword.
+		return strings.Replace(text, " FROM ", " ", 1)
+	case 2:
+		// Unbalanced parenthesis.
+		return text + ")"
+	default:
+		// Truncated tail.
+		if len(text) > 12 {
+			return text[:len(text)-9]
+		}
+		return text
+	}
+}

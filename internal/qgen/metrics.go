@@ -1,0 +1,126 @@
+package qgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/sql"
+)
+
+// GenMetrics are the four query-generation quality measures of §6.7.
+type GenMetrics struct {
+	GAC      float64 // grammar accuracy: executable fraction
+	IAC      float64 // index accuracy: specified ∩ selected overlap
+	RMSE     float64 // reward error on the percent scale
+	Distinct float64 // mean unique-token ratio
+}
+
+// EvaluateGenerator reproduces the Table 3 protocol: n trials, each with 3
+// randomly specified indexes and a random reward threshold; the generated
+// query is judged for grammar (parse + resolve), index accuracy (overlap of
+// the specified columns with the labeler's recommendation for the query),
+// reward error, and token diversity.
+func EvaluateGenerator(gen Generator, s *catalog.Schema, w *cost.WhatIf, label Labeler, n int, rng *rand.Rand) GenMetrics {
+	if label == nil {
+		label = GreedyLabeler(w, 3)
+	}
+	all := s.IndexableColumnNames()
+	var m GenMetrics
+	correct := 0
+	sqErr, sqN := 0.0, 0
+	uniqTokens := make(map[string]bool)
+	totalTokens := 0
+
+	for i := 0; i < n; i++ {
+		cols := sampleColumns(all, 3, rng)
+		target := math.Round(rng.Float64()*100) / 100
+		text := gen.GenerateSQL(cols, target, rng)
+
+		q, err := sql.Parse(text)
+		if err == nil {
+			err = sql.Resolve(q, s)
+		}
+		if err != nil {
+			continue // grammar failure
+		}
+		correct++
+
+		// IAC: overlap of the specified columns with the lead columns the
+		// labeler picks for the generated query (Eq. 10).
+		rec := label(q)
+		recSet := make(map[string]bool, len(rec))
+		for _, ix := range rec {
+			recSet[ix.LeadColumn()] = true
+		}
+		hit := 0
+		for _, c := range cols {
+			if recSet[c] {
+				hit++
+			}
+		}
+		m.IAC += float64(hit) / float64(len(cols))
+
+		// RMSE: deviation of the achieved reward under the labeler's
+		// configuration from the requested threshold, on the 0-100 scale.
+		base := w.QueryCost(q, nil)
+		reward := 0.0
+		if base > 0 && len(rec) > 0 {
+			reward = 1 - w.QueryCost(q, rec)/base
+		}
+		d := (reward - target) * 100
+		sqErr += d * d
+		sqN++
+
+		// Distinct [22] measures corpus-level diversity: per correct query,
+		// the fraction of its sub-token bigrams never emitted by an earlier
+		// query, averaged. Repetitive generators saturate toward zero as the
+		// corpus grows; diverse ones keep introducing new combinations.
+		toks := SubTokens(text)
+		novel, total := 0, 0
+		for i := 0; i+1 < len(toks); i++ {
+			if isDigit(toks[i]) && isDigit(toks[i+1]) {
+				continue // constant entropy is not structural diversity
+			}
+			key := toks[i] + "\x00" + toks[i+1]
+			total++
+			if !uniqTokens[key] {
+				uniqTokens[key] = true
+				novel++
+			}
+		}
+		if total > 0 {
+			m.Distinct += float64(novel) / float64(total)
+			totalTokens++
+		}
+	}
+
+	m.GAC = float64(correct) / float64(n)
+	if correct > 0 {
+		m.IAC /= float64(correct)
+	}
+	if totalTokens > 0 {
+		m.Distinct /= float64(totalTokens)
+	}
+	if sqN > 0 {
+		m.RMSE = math.Sqrt(sqErr / float64(sqN))
+	}
+	return m
+}
+
+// isDigit reports whether a sub-token is a single digit.
+func isDigit(s string) bool { return len(s) == 1 && s[0] >= '0' && s[0] <= '9' }
+
+// sampleColumns draws k distinct column names.
+func sampleColumns(all []string, k int, rng *rand.Rand) []string {
+	if k > len(all) {
+		k = len(all)
+	}
+	perm := rng.Perm(len(all))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package qgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/sql"
+)
+
+func setup(t *testing.T) (*catalog.Schema, *FSM, *cost.WhatIf) {
+	t.Helper()
+	s := catalog.TPCH(1)
+	return s, NewFSM(s), cost.NewWhatIf(cost.NewModel(s))
+}
+
+func TestFSMGeneratesValidQueries(t *testing.T) {
+	s, f, _ := setup(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		q := f.Generate(rng)
+		// Re-parse the rendered text: fully round-trippable SQL.
+		q2, err := sql.ParseResolved(q.String(), s)
+		if err != nil {
+			t.Fatalf("FSM query %q not re-parseable: %v", q, err)
+		}
+		if !q.Equal(q2) {
+			t.Fatalf("round trip mismatch for %q", q)
+		}
+	}
+}
+
+func TestFSMQueriesAreCostable(t *testing.T) {
+	_, f, w := setup(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		q := f.Generate(rng)
+		if c := w.QueryCost(q, nil); c <= 0 {
+			t.Fatalf("cost %f for %q", c, q)
+		}
+	}
+}
+
+func TestPredicateWithSelectivity(t *testing.T) {
+	s, f, _ := setup(t)
+	rng := rand.New(rand.NewSource(3))
+	col := s.Column("lineitem.l_shipdate")
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+		p := f.PredicateWithSelectivity(col, sel, rng)
+		if p.Column != "lineitem.l_shipdate" {
+			t.Fatalf("predicate on %s", p.Column)
+		}
+		if !p.Op.Sargable() {
+			t.Fatal("non-sargable predicate")
+		}
+	}
+	// A tiny selectivity on a small-domain column degrades to a point probe.
+	small := s.Column("lineitem.l_returnflag")
+	p := f.PredicateWithSelectivity(small, 0.0001, rng)
+	if p.Op != sql.OpEq {
+		t.Errorf("expected point predicate, got %v", p.Op)
+	}
+}
+
+func TestSubTokens(t *testing.T) {
+	toks := SubTokens("SELECT customer.c_income FROM customer")
+	want := []string{"SELECT", "customer", ".", "c", "_", "income", "FROM", "customer"}
+	if len(toks) != len(want) {
+		t.Fatalf("SubTokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLMLearnsTransitions(t *testing.T) {
+	lm := NewLM(2)
+	lm.Observe([]string{"a", "b", "a", "b", "a", "c"}, 1)
+	if pb, pc := lm.Prob([]string{"a"}, "b"), lm.Prob([]string{"a"}, "c"); pb <= pc {
+		t.Errorf("P(b|a)=%f should exceed P(c|a)=%f", pb, pc)
+	}
+}
+
+func TestConstrainedChoosePrefixMatching(t *testing.T) {
+	// The paper's §3.3 example: candidates share the prefix "c_"; decoding
+	// proceeds sub-token by sub-token, discarding mismatches.
+	lm := NewLM(2)
+	lm.Observe([]string{"select", "c", "_", "income"}, 5)
+	lm.Observe([]string{"select", "o", "_", "date"}, 1)
+	got := lm.ConstrainedChoose([]string{"select"}, []string{"c_income", "o_date", "c_phone"}, 0, nil)
+	if got != "c_income" {
+		t.Errorf("ConstrainedChoose = %q, want c_income", got)
+	}
+	// Result is always one of the candidates, even for an untrained model.
+	empty := NewLM(2)
+	got = empty.ConstrainedChoose(nil, []string{"x_a", "y_b"}, 0, nil)
+	if got != "x_a" && got != "y_b" {
+		t.Errorf("ConstrainedChoose returned non-candidate %q", got)
+	}
+	if got := lm.ConstrainedChoose(nil, nil, 0, nil); got != "" {
+		t.Errorf("no candidates should yield empty, got %q", got)
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	_, f, w := setup(t)
+	rng := rand.New(rand.NewSource(4))
+	corpus := BuildCorpus(f, w, GreedyLabeler(w, 3), 30, rng)
+	if len(corpus) != 30 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+	for _, s := range corpus {
+		if s.Tokens[0] != TokCLS {
+			t.Fatal("sample does not start with <CLS>")
+		}
+		if s.Reward < 0 || s.Reward >= 1.000001 {
+			t.Fatalf("reward %f out of range", s.Reward)
+		}
+		seps := 0
+		for _, tok := range s.Tokens {
+			if tok == TokSEP {
+				seps++
+			}
+		}
+		if seps != 2 {
+			t.Fatalf("sample has %d separators, want 2", seps)
+		}
+	}
+}
+
+func TestIABARTGeneratesIndexAwareQueries(t *testing.T) {
+	_, f, w := setup(t)
+	g := TrainIABART(f, w, nil, fastOpts(), 5)
+	rng := rand.New(rand.NewSource(6))
+	targets := [][]string{
+		{"lineitem.l_partkey"},
+		{"orders.o_custkey", "orders.o_orderdate"},
+		{"customer.c_acctbal", "customer.c_nationkey"},
+		{"lineitem.l_shipdate", "part.p_brand"},
+	}
+	for _, cols := range targets {
+		q, err := g.Generate(cols, 0.5, rng)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", cols, err)
+		}
+		opt, red, ok := OptimalSingleColumn(w, q)
+		if !ok {
+			t.Fatalf("Generate(%v) produced non-sargable query %q", cols, q)
+		}
+		found := false
+		for _, c := range cols {
+			if c == opt {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("optimal column %s (red %.3f) not in targets %v for %q", opt, red, cols, q)
+		}
+	}
+}
+
+func TestIABARTGACIsOne(t *testing.T) {
+	s, f, w := setup(t)
+	g := TrainIABART(f, w, nil, fastOpts(), 7)
+	rng := rand.New(rand.NewSource(8))
+	m := EvaluateGenerator(g, s, w, nil, 40, rng)
+	if m.GAC != 1 {
+		t.Errorf("IABART GAC = %f, want 1 (FSM-constrained decoding)", m.GAC)
+	}
+	if m.IAC <= 0 {
+		t.Errorf("IABART IAC = %f, want > 0", m.IAC)
+	}
+}
+
+func TestGeneratorOrdering(t *testing.T) {
+	// The qualitative Table 3 shape: IABART's IAC beats ST's and DT's, and
+	// the noisy (unconstrained) generator has GAC < 1.
+	s, f, w := setup(t)
+	g := TrainIABART(f, w, nil, fastOpts(), 9)
+	rng := rand.New(rand.NewSource(10))
+	// Distinct is a saturation metric: repetitive generators only sink
+	// below diverse ones once the corpus is large enough, so use a few
+	// hundred trials.
+	const n = 250
+	mIA := EvaluateGenerator(g, s, w, nil, n, rand.New(rand.NewSource(11)))
+	mST := EvaluateGenerator(ST{Schema: s}, s, w, nil, n, rand.New(rand.NewSource(11)))
+	mDT := EvaluateGenerator(NewDT(s), s, w, nil, n, rand.New(rand.NewSource(11)))
+	noisy := Noisy{Inner: g, ErrRate: 0.15, Label: "GPT-sim"}
+	mN := EvaluateGenerator(noisy, s, w, nil, n, rng)
+
+	if mIA.IAC <= mDT.IAC {
+		t.Errorf("IABART IAC %f should beat DT %f", mIA.IAC, mDT.IAC)
+	}
+	if mN.GAC >= 1 {
+		t.Errorf("noisy GAC = %f, want < 1", mN.GAC)
+	}
+	if mST.GAC != 1 || mDT.GAC != 1 {
+		t.Errorf("template baselines must be grammatical: ST %f DT %f", mST.GAC, mDT.GAC)
+	}
+	// Distinct: IABART clearly beats the template-matching DT; against ST
+	// the race is within noise here because our protocol hands ST fresh
+	// random target columns every trial (inflating its corpus diversity
+	// relative to the paper's fixed simple template) — recorded as a known
+	// deviation in EXPERIMENTS.md.
+	if mIA.Distinct <= mDT.Distinct {
+		t.Errorf("IABART Distinct %f should beat DT %f", mIA.Distinct, mDT.Distinct)
+	}
+	if mIA.Distinct < 0.8*mST.Distinct {
+		t.Errorf("IABART Distinct %f far below ST %f", mIA.Distinct, mST.Distinct)
+	}
+}
+
+func TestAblationNames(t *testing.T) {
+	s, f, w := setup(t)
+	_ = s
+	opts := fastOpts()
+	cases := []struct {
+		lm, cond bool
+		want     string
+	}{
+		{true, true, "IABART"},
+		{false, true, "IABART w/o Task1"},
+		{true, false, "IABART w/o Task2"},
+		{false, false, "IABART w/o Task1&2"},
+	}
+	for _, c := range cases {
+		o := opts
+		o.UseLM, o.IndexConditioning = c.lm, c.cond
+		g := TrainIABART(f, w, nil, o, 1)
+		if g.Name() != c.want {
+			t.Errorf("Name = %q, want %q", g.Name(), c.want)
+		}
+	}
+}
+
+func TestOptimalSingleColumn(t *testing.T) {
+	s, _, w := setup(t)
+	q, err := sql.ParseResolved("SELECT * FROM lineitem WHERE l_partkey = 7", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, red, ok := OptimalSingleColumn(w, q)
+	if !ok || col != "lineitem.l_partkey" || red <= 0 {
+		t.Errorf("OptimalSingleColumn = (%s, %f, %v)", col, red, ok)
+	}
+	// A query with no sargable predicates has no optimal index.
+	q2, err := sql.ParseResolved("SELECT * FROM region", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := OptimalSingleColumn(w, q2); ok {
+		t.Error("non-sargable query reported an optimal index")
+	}
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.CorpusSize = 60
+	o.MaxAttempts = 6
+	return o
+}

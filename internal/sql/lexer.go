@@ -1,0 +1,185 @@
+package sql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString // string literal, folded to a dictionary code
+	TokOp     // = <> < <= > >=
+	TokComma
+	TokLParen
+	TokRParen
+	TokDot
+	TokStar
+)
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased
+	Num  int64  // value for TokNumber and TokString (folded)
+	Pos  int
+}
+
+// keywords recognized by the dialect. Identifiers matching these
+// (case-insensitively) are emitted as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"BETWEEN": true, "IN": true, "DESC": true, "ASC": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"JOIN": true, "ON": true, "INNER": true, "AS": true,
+}
+
+// StringCode deterministically folds a string literal to an int64 dictionary
+// code. The engine dictionary-encodes all values, so string predicates
+// compare codes; the fold must be stable across runs and platforms.
+func StringCode(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := int64(h.Sum64() & 0x7fffffffffffffff)
+	return v
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for an illegal character or
+// unterminated literal.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.src[l.pos]
+	switch {
+	case ch == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case ch == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case ch == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case ch == '.':
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case ch == '*':
+		l.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case ch == '=':
+		l.pos++
+		return Token{Kind: TokOp, Text: "=", Pos: start}, nil
+	case ch == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokOp, Text: "<=", Pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return Token{Kind: TokOp, Text: "<>", Pos: start}, nil
+		}
+		return Token{Kind: TokOp, Text: "<", Pos: start}, nil
+	case ch == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokOp, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokOp, Text: ">", Pos: start}, nil
+	case ch == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("sql: unterminated string literal at %d", start)
+		}
+		l.pos++ // closing quote
+		s := sb.String()
+		return Token{Kind: TokString, Text: s, Num: StringCode(s), Pos: start}, nil
+	case ch == '-' || (ch >= '0' && ch <= '9'):
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+		// Accept a fractional part but truncate it: the engine's value
+		// domain is integer codes.
+		if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+			l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+		text := l.src[start:l.pos]
+		intPart := text
+		if i := strings.IndexByte(text, '.'); i >= 0 {
+			intPart = text[:i]
+		}
+		n, err := strconv.ParseInt(intPart, 10, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("sql: bad number %q at %d: %v", text, start, err)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: n, Pos: start}, nil
+	case ch == '_' || unicode.IsLetter(rune(ch)):
+		l.pos++
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9') {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(text), Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("sql: illegal character %q at %d", ch, start)
+	}
+}
+
+// Tokenize lexes the entire input, excluding the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,389 @@
+package sql
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for the dialect. It is
+// schema-agnostic: column names are kept as written (lower-cased); use
+// Resolve to qualify and validate them against a catalog.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %d: %q", p.peek().Pos, p.peek().Text)
+	}
+	return q, nil
+}
+
+// MustParse parses src and panics on error; for tests and literals.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) peek() Token {
+	if p.atEOF() {
+		return Token{Kind: TokEOF, Pos: len(p.src)}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return fmt.Errorf("sql: expected %s at %d, got %q", kw, t.Pos, t.Text)
+	}
+	return nil
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	q.Select = items
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(q); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = cols
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Column: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokNumber || t.Num <= 0 {
+			return nil, fmt.Errorf("sql: expected positive LIMIT at %d", t.Pos)
+		}
+		q.Limit = int(t.Num)
+	}
+	return q, nil
+}
+
+func (p *Parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.peek().Kind != TokComma {
+			return items, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.Kind == TokStar {
+		p.pos++
+		return SelectItem{Star: true}, nil
+	}
+	if t.Kind == TokKeyword {
+		var agg AggFunc
+		switch t.Text {
+		case "COUNT":
+			agg = AggCount
+		case "SUM":
+			agg = AggSum
+		case "AVG":
+			agg = AggAvg
+		case "MIN":
+			agg = AggMin
+		case "MAX":
+			agg = AggMax
+		default:
+			return SelectItem{}, fmt.Errorf("sql: unexpected keyword %s in select list at %d", t.Text, t.Pos)
+		}
+		p.pos++
+		if tk := p.next(); tk.Kind != TokLParen {
+			return SelectItem{}, fmt.Errorf("sql: expected ( after %s at %d", t.Text, tk.Pos)
+		}
+		if p.peek().Kind == TokStar {
+			if agg != AggCount {
+				return SelectItem{}, fmt.Errorf("sql: %s(*) is not valid at %d", t.Text, p.peek().Pos)
+			}
+			p.pos++
+			if tk := p.next(); tk.Kind != TokRParen {
+				return SelectItem{}, fmt.Errorf("sql: expected ) at %d", tk.Pos)
+			}
+			return SelectItem{Agg: AggCount, Star: true}, nil
+		}
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if tk := p.next(); tk.Kind != TokRParen {
+			return SelectItem{}, fmt.Errorf("sql: expected ) at %d", tk.Pos)
+		}
+		return SelectItem{Agg: agg, Column: col}, nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: col}, nil
+}
+
+// parseFrom handles both comma-separated table lists and JOIN ... ON chains.
+func (p *Parser) parseFrom(q *Query) error {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return fmt.Errorf("sql: expected table name at %d", t.Pos)
+	}
+	q.Tables = append(q.Tables, t.Text)
+	for {
+		switch {
+		case p.peek().Kind == TokComma:
+			p.pos++
+			t := p.next()
+			if t.Kind != TokIdent {
+				return fmt.Errorf("sql: expected table name at %d", t.Pos)
+			}
+			q.Tables = append(q.Tables, t.Text)
+		case p.peek().Kind == TokKeyword && (p.peek().Text == "JOIN" || p.peek().Text == "INNER"):
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			t := p.next()
+			if t.Kind != TokIdent {
+				return fmt.Errorf("sql: expected table name at %d", t.Pos)
+			}
+			q.Tables = append(q.Tables, t.Text)
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			left, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			if tk := p.next(); tk.Kind != TokOp || tk.Text != "=" {
+				return fmt.Errorf("sql: expected = in join condition at %d", tk.Pos)
+			}
+			right, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			q.Joins = append(q.Joins, Join{Left: left, Right: right})
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *Parser) parseWhere(q *Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if !p.acceptKeyword("AND") {
+			return nil
+		}
+	}
+}
+
+// parseCondition parses one conjunct. "col = col" becomes a Join; everything
+// else becomes a Predicate.
+func (p *Parser) parseCondition(q *Query) error {
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	switch {
+	case t.Kind == TokOp:
+		op, err := compareOpOf(t.Text)
+		if err != nil {
+			return fmt.Errorf("%v at %d", err, t.Pos)
+		}
+		v := p.peek()
+		if v.Kind == TokIdent {
+			// Column on the right-hand side: equi-join condition.
+			if op != OpEq {
+				return fmt.Errorf("sql: only = allowed between columns at %d", v.Pos)
+			}
+			right, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			q.Joins = append(q.Joins, Join{Left: col, Right: right})
+			return nil
+		}
+		if v.Kind != TokNumber && v.Kind != TokString {
+			return fmt.Errorf("sql: expected literal at %d", v.Pos)
+		}
+		p.pos++
+		q.Where = append(q.Where, Predicate{Column: col, Op: op, Value: v.Num})
+		return nil
+	case t.Kind == TokKeyword && t.Text == "BETWEEN":
+		lo := p.next()
+		if lo.Kind != TokNumber && lo.Kind != TokString {
+			return fmt.Errorf("sql: expected literal at %d", lo.Pos)
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi := p.next()
+		if hi.Kind != TokNumber && hi.Kind != TokString {
+			return fmt.Errorf("sql: expected literal at %d", hi.Pos)
+		}
+		if hi.Num < lo.Num {
+			return fmt.Errorf("sql: empty BETWEEN range [%d, %d] at %d", lo.Num, hi.Num, lo.Pos)
+		}
+		q.Where = append(q.Where, Predicate{Column: col, Op: OpBetween, Value: lo.Num, Hi: hi.Num})
+		return nil
+	case t.Kind == TokKeyword && t.Text == "IN":
+		if tk := p.next(); tk.Kind != TokLParen {
+			return fmt.Errorf("sql: expected ( after IN at %d", tk.Pos)
+		}
+		var vals []int64
+		for {
+			v := p.next()
+			if v.Kind != TokNumber && v.Kind != TokString {
+				return fmt.Errorf("sql: expected literal in IN list at %d", v.Pos)
+			}
+			vals = append(vals, v.Num)
+			sep := p.next()
+			if sep.Kind == TokRParen {
+				break
+			}
+			if sep.Kind != TokComma {
+				return fmt.Errorf("sql: expected , or ) in IN list at %d", sep.Pos)
+			}
+		}
+		q.Where = append(q.Where, Predicate{Column: col, Op: OpIn, Values: vals})
+		return nil
+	default:
+		return fmt.Errorf("sql: expected comparison after %s at %d", col, t.Pos)
+	}
+}
+
+func compareOpOf(text string) (CompareOp, error) {
+	switch text {
+	case "=":
+		return OpEq, nil
+	case "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown operator %q", text)
+	}
+}
+
+// parseColumnRef parses "ident" or "ident.ident".
+func (p *Parser) parseColumnRef() (string, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("sql: expected column name at %d, got %q", t.Pos, t.Text)
+	}
+	name := t.Text
+	if p.peek().Kind == TokDot {
+		p.pos++
+		t2 := p.next()
+		if t2.Kind != TokIdent {
+			return "", fmt.Errorf("sql: expected column after . at %d", t2.Pos)
+		}
+		name = name + "." + t2.Text
+	}
+	return name, nil
+}
+
+func (p *Parser) parseColumnList() ([]string, error) {
+	var cols []string
+	for {
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.peek().Kind != TokComma {
+			return cols, nil
+		}
+		p.pos++
+	}
+}

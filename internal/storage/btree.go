@@ -1,0 +1,247 @@
+// Package storage provides the physical layer of the simulated database: an
+// in-memory columnar table store and a B+-tree secondary index. The
+// execution engine (internal/engine) runs plans against this layer to obtain
+// "actual" execution costs, cross-checking the what-if estimates of
+// internal/cost the way the paper cross-checks estimated and executed costs.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// btreeOrder is the maximum number of keys per node.
+const btreeOrder = 64
+
+// BTree is a B+-tree mapping int64 keys to row ids. Duplicate keys are
+// allowed; leaves are chained for range scans.
+type BTree struct {
+	root   node
+	size   int
+	height int
+}
+
+type node interface {
+	isLeaf() bool
+}
+
+type leafNode struct {
+	keys []int64
+	rids []int32
+	next *leafNode
+}
+
+func (*leafNode) isLeaf() bool { return true }
+
+type innerNode struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []int64
+	children []node
+}
+
+func (*innerNode) isLeaf() bool { return false }
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &leafNode{}, height: 1}
+}
+
+// BulkLoad builds a tree from parallel slices of keys and row ids, which
+// need not be sorted. This is the fast path used by the data generator.
+func BulkLoad(keys []int64, rids []int32) *BTree {
+	if len(keys) != len(rids) {
+		panic(fmt.Sprintf("storage: BulkLoad length mismatch %d != %d", len(keys), len(rids)))
+	}
+	type kv struct {
+		k int64
+		r int32
+	}
+	pairs := make([]kv, len(keys))
+	for i := range keys {
+		pairs[i] = kv{keys[i], rids[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].r < pairs[j].r
+	})
+
+	// Build leaves.
+	var leaves []*leafNode
+	per := btreeOrder
+	for i := 0; i < len(pairs); i += per {
+		end := i + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		lf := &leafNode{
+			keys: make([]int64, 0, end-i),
+			rids: make([]int32, 0, end-i),
+		}
+		for _, p := range pairs[i:end] {
+			lf.keys = append(lf.keys, p.k)
+			lf.rids = append(lf.rids, p.r)
+		}
+		leaves = append(leaves, lf)
+	}
+	if len(leaves) == 0 {
+		return NewBTree()
+	}
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+
+	// Build inner levels bottom-up.
+	level := make([]node, len(leaves))
+	firstKey := make([]int64, len(leaves))
+	for i, lf := range leaves {
+		level[i] = lf
+		firstKey[i] = lf.keys[0]
+	}
+	height := 1
+	for len(level) > 1 {
+		var nextLevel []node
+		var nextFirst []int64
+		for i := 0; i < len(level); i += btreeOrder {
+			end := i + btreeOrder
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &innerNode{
+				children: append([]node(nil), level[i:end]...),
+			}
+			for j := i + 1; j < end; j++ {
+				in.keys = append(in.keys, firstKey[j])
+			}
+			nextLevel = append(nextLevel, in)
+			nextFirst = append(nextFirst, firstKey[i])
+		}
+		level, firstKey = nextLevel, nextFirst
+		height++
+	}
+	return &BTree{root: level[0], size: len(pairs), height: height}
+}
+
+// Len returns the number of (key, rid) entries.
+func (t *BTree) Len() int { return t.size }
+
+// Height returns the number of node levels.
+func (t *BTree) Height() int { return t.height }
+
+// Insert adds one (key, rid) entry.
+func (t *BTree) Insert(key int64, rid int32) {
+	newChild, splitKey := t.insert(t.root, key, rid)
+	if newChild != nil {
+		t.root = &innerNode{keys: []int64{splitKey}, children: []node{t.root, newChild}}
+		t.height++
+	}
+	t.size++
+}
+
+// insert descends to the leaf, inserting and splitting upward as needed. It
+// returns a new right sibling and its separator key when the node split.
+func (t *BTree) insert(n node, key int64, rid int32) (node, int64) {
+	if lf, ok := n.(*leafNode); ok {
+		i := sort.Search(len(lf.keys), func(i int) bool { return lf.keys[i] > key })
+		lf.keys = append(lf.keys, 0)
+		copy(lf.keys[i+1:], lf.keys[i:])
+		lf.keys[i] = key
+		lf.rids = append(lf.rids, 0)
+		copy(lf.rids[i+1:], lf.rids[i:])
+		lf.rids[i] = rid
+		if len(lf.keys) <= btreeOrder {
+			return nil, 0
+		}
+		mid := len(lf.keys) / 2
+		right := &leafNode{
+			keys: append([]int64(nil), lf.keys[mid:]...),
+			rids: append([]int32(nil), lf.rids[mid:]...),
+			next: lf.next,
+		}
+		lf.keys = lf.keys[:mid]
+		lf.rids = lf.rids[:mid]
+		lf.next = right
+		return right, right.keys[0]
+	}
+
+	in := n.(*innerNode)
+	i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+	newChild, splitKey := t.insert(in.children[i], key, rid)
+	if newChild == nil {
+		return nil, 0
+	}
+	in.keys = append(in.keys, 0)
+	copy(in.keys[i+1:], in.keys[i:])
+	in.keys[i] = splitKey
+	in.children = append(in.children, nil)
+	copy(in.children[i+2:], in.children[i+1:])
+	in.children[i+1] = newChild
+	if len(in.children) <= btreeOrder+1 {
+		return nil, 0
+	}
+	mid := len(in.keys) / 2
+	rightKeys := append([]int64(nil), in.keys[mid+1:]...)
+	rightChildren := append([]node(nil), in.children[mid+1:]...)
+	up := in.keys[mid]
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return &innerNode{keys: rightKeys, children: rightChildren}, up
+}
+
+// findLeaf descends to the leftmost leaf that may contain key. With
+// duplicate keys, entries equal to a separator can live in the child left of
+// it, so the descent must use >= and rely on the leaf chain to continue
+// rightward.
+func (t *BTree) findLeaf(key int64) *leafNode {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] >= key })
+		n = in.children[i]
+	}
+	return n.(*leafNode)
+}
+
+// Search returns the row ids of all entries with the exact key.
+func (t *BTree) Search(key int64) []int32 {
+	var out []int32
+	t.Range(key, key, func(_ int64, rid int32) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// Range visits entries with lo <= key <= hi in key order. The visitor
+// returns false to stop early.
+func (t *BTree) Range(lo, hi int64, visit func(key int64, rid int32) bool) {
+	lf := t.findLeaf(lo)
+	for lf != nil {
+		i := sort.Search(len(lf.keys), func(i int) bool { return lf.keys[i] >= lo })
+		for ; i < len(lf.keys); i++ {
+			if lf.keys[i] > hi {
+				return
+			}
+			if !visit(lf.keys[i], lf.rids[i]) {
+				return
+			}
+		}
+		lf = lf.next
+	}
+}
+
+// Ascend visits all entries in key order until the visitor returns false.
+func (t *BTree) Ascend(visit func(key int64, rid int32) bool) {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.(*innerNode).children[0]
+	}
+	for lf := n.(*leafNode); lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if !visit(lf.keys[i], lf.rids[i]) {
+				return
+			}
+		}
+	}
+}

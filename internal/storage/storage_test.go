@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertSearch(t *testing.T) {
+	bt := NewBTree()
+	ref := make(map[int64][]int32)
+	rng := rand.New(rand.NewSource(1))
+	for i := int32(0); i < 5000; i++ {
+		k := int64(rng.Intn(500)) // force many duplicates
+		bt.Insert(k, i)
+		ref[k] = append(ref[k], i)
+	}
+	if bt.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", bt.Len())
+	}
+	for k, want := range ref {
+		got := bt.Search(k)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("Search(%d) returned %d rids, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Search(%d)[%d] = %d, want %d", k, i, got[i], want[i])
+			}
+		}
+	}
+	if got := bt.Search(99999); got != nil {
+		t.Errorf("Search(absent) = %v, want nil", got)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	keys := make([]int64, 10000)
+	rids := make([]int32, 10000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = int64(rng.Intn(2000))
+		rids[i] = int32(i)
+	}
+	bt := BulkLoad(keys, rids)
+	for trial := 0; trial < 50; trial++ {
+		lo := int64(rng.Intn(2000))
+		hi := lo + int64(rng.Intn(300))
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		prev := int64(-1 << 62)
+		bt.Range(lo, hi, func(k int64, _ int32) bool {
+			if k < prev {
+				t.Fatalf("Range out of order: %d after %d", k, prev)
+			}
+			if k < lo || k > hi {
+				t.Fatalf("Range returned key %d outside [%d, %d]", k, lo, hi)
+			}
+			prev = k
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("Range(%d, %d) visited %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestBTreeRangeEarlyStop(t *testing.T) {
+	keys := []int64{1, 2, 3, 4, 5}
+	bt := BulkLoad(keys, []int32{0, 1, 2, 3, 4})
+	n := 0
+	bt.Range(1, 5, func(int64, int32) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d after early stop, want 3", n)
+	}
+}
+
+func TestBulkLoadEqualsIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, 3000)
+	rids := make([]int32, 3000)
+	inc := NewBTree()
+	for i := range keys {
+		keys[i] = rng.Int63n(1000)
+		rids[i] = int32(i)
+		inc.Insert(keys[i], rids[i])
+	}
+	bulk := BulkLoad(keys, rids)
+	collect := func(bt *BTree) []int64 {
+		var out []int64
+		bt.Ascend(func(k int64, rid int32) bool {
+			out = append(out, k, int64(rid))
+			return true
+		})
+		return out
+	}
+	a, b := collect(inc), collect(bulk)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	// Key sequences must match; rid order within duplicate keys may differ
+	// between insertion orders, so compare keys only at each position.
+	for i := 0; i < len(a); i += 2 {
+		if a[i] != b[i] {
+			t.Fatalf("key at %d: %d vs %d", i/2, a[i], b[i])
+		}
+	}
+}
+
+func TestBTreeProperty(t *testing.T) {
+	// Property: after BulkLoad, Search finds exactly the rids whose key
+	// matches, for arbitrary key multisets.
+	f := func(raw []int16) bool {
+		keys := make([]int64, len(raw))
+		rids := make([]int32, len(raw))
+		for i, v := range raw {
+			keys[i] = int64(v)
+			rids[i] = int32(i)
+		}
+		bt := BulkLoad(keys, rids)
+		if bt.Len() != len(raw) {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		probe := keys[0]
+		want := 0
+		for _, k := range keys {
+			if k == probe {
+				want++
+			}
+		}
+		return len(bt.Search(probe)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	small := BulkLoad([]int64{1, 2, 3}, []int32{0, 1, 2})
+	if small.Height() != 1 {
+		t.Errorf("small height = %d, want 1", small.Height())
+	}
+	keys := make([]int64, 100000)
+	rids := make([]int32, 100000)
+	for i := range keys {
+		keys[i] = int64(i)
+		rids[i] = int32(i)
+	}
+	big := BulkLoad(keys, rids)
+	if big.Height() < 3 {
+		t.Errorf("big height = %d, want >= 3", big.Height())
+	}
+}
+
+func TestTableColumns(t *testing.T) {
+	tbl := NewTable("t", 3)
+	tbl.SetColumn("a", []int64{1, 2, 3})
+	if got := tbl.Value("a", 1); got != 2 {
+		t.Errorf("Value = %d, want 2", got)
+	}
+	if tbl.Column("missing") != nil {
+		t.Error("missing column should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetColumn with wrong length did not panic")
+		}
+	}()
+	tbl.SetColumn("b", []int64{1})
+}
+
+func TestStoreIndexExcludesNulls(t *testing.T) {
+	tbl := NewTable("t", 4)
+	tbl.SetColumn("a", []int64{5, Null, 5, 7})
+	s := NewStore()
+	s.AddTable(tbl)
+	bt, err := s.Index("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() != 3 {
+		t.Errorf("index has %d entries, want 3 (null excluded)", bt.Len())
+	}
+	if got := len(bt.Search(5)); got != 2 {
+		t.Errorf("Search(5) = %d rids, want 2", got)
+	}
+	// Cached on second call.
+	bt2, err := s.Index("t", "a")
+	if err != nil || bt2 != bt {
+		t.Error("index not cached")
+	}
+}
+
+func TestStoreIndexErrors(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Index("no", "a"); err == nil {
+		t.Error("unknown table: want error")
+	}
+	tbl := NewTable("t", 1)
+	tbl.SetColumn("a", []int64{1})
+	s.AddTable(tbl)
+	if _, err := s.Index("t", "nope"); err == nil {
+		t.Error("unknown column: want error")
+	}
+}

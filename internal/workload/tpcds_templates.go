@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+)
+
+// TPCDSTemplates returns a 20-template TPC-DS-style suite covering all three
+// sales channels, returns, inventory and the dimension-heavy "reporting"
+// query shapes of the official benchmark (q3/q7/q19/q42/q52/q55/q96/q98
+// skeletons among them), adapted to the reproduction's dialect. The paper
+// draws N = 90 queries per workload from the template pool; templates here
+// are re-instantiated with fresh parameters to reach any N.
+func TPCDSTemplates() []Template {
+	return []Template{
+		{Name: "ds_q3", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT d_year, i_brand_id, SUM(ss_ext_sales_price) FROM store_sales, date_dim, item "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND d_moy = %d AND i_manufact_id = %d "+
+					"GROUP BY d_year, i_brand_id ORDER BY d_year LIMIT 100",
+				eqVal(s, "date_dim.d_moy", rng), eqVal(s, "item.i_manufact_id", rng))
+		}},
+		{Name: "ds_q7", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT i_item_id, AVG(ss_quantity), AVG(ss_list_price) FROM store_sales, customer_demographics, date_dim, item "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND ss_cdemo_sk = cd_demo_sk "+
+					"AND cd_gender = %d AND cd_marital_status = %d AND d_year = %d "+
+					"GROUP BY i_item_id ORDER BY i_item_id LIMIT 100",
+				eqVal(s, "customer_demographics.cd_gender", rng),
+				eqVal(s, "customer_demographics.cd_marital_status", rng),
+				eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_q19", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) FROM store_sales, date_dim, item, customer "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND ss_customer_sk = c_customer_sk "+
+					"AND i_manager_id = %d AND d_moy = %d AND d_year = %d "+
+					"GROUP BY i_brand_id, i_brand ORDER BY i_brand_id LIMIT 100",
+				eqVal(s, "item.i_manager_id", rng), eqVal(s, "date_dim.d_moy", rng), eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_q42", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT d_year, i_category_id, SUM(ss_ext_sales_price) FROM date_dim, store_sales, item "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND d_moy = %d AND d_year = %d "+
+					"GROUP BY d_year, i_category_id ORDER BY d_year LIMIT 100",
+				eqVal(s, "date_dim.d_moy", rng), eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_q52", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT d_year, i_brand_id, SUM(ss_ext_sales_price) FROM date_dim, store_sales, item "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND d_moy = %d AND d_year = %d "+
+					"AND i_manager_id = %d GROUP BY d_year, i_brand_id ORDER BY d_year DESC LIMIT 100",
+				eqVal(s, "date_dim.d_moy", rng), eqVal(s, "date_dim.d_year", rng), eqVal(s, "item.i_manager_id", rng))
+		}},
+		{Name: "ds_q55", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) FROM date_dim, store_sales, item "+
+					"WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND i_manager_id = %d "+
+					"AND d_moy = %d AND d_year = %d GROUP BY i_brand_id, i_brand ORDER BY i_brand_id LIMIT 100",
+				eqVal(s, "item.i_manager_id", rng), eqVal(s, "date_dim.d_moy", rng), eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_q96", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM store_sales, household_demographics, time_dim, store "+
+					"WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk "+
+					"AND t_hour = %d AND hd_dep_count = %d",
+				eqVal(s, "time_dim.t_hour", rng), eqVal(s, "household_demographics.hd_dep_count", rng))
+		}},
+		{Name: "ds_q98", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "date_dim.d_date", 0.01, rng)
+			return fmt.Sprintf(
+				"SELECT i_item_id, i_category, SUM(ss_ext_sales_price) FROM store_sales, item, date_dim "+
+					"WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND i_category IN (%s) "+
+					"AND d_date BETWEEN %d AND %d GROUP BY i_item_id, i_category ORDER BY i_item_id LIMIT 100",
+				fmtIn(inList(s, "item.i_category", 3, rng)), lo, hi)
+		}},
+		{Name: "ds_catalog_cust", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT c_customer_id, SUM(cs_net_paid) FROM catalog_sales, customer, date_dim "+
+					"WHERE cs_bill_customer_sk = c_customer_sk AND cs_sold_date_sk = d_date_sk AND d_year = %d "+
+					"AND cs_quantity BETWEEN %d AND %d GROUP BY c_customer_id ORDER BY c_customer_id LIMIT 100",
+				eqVal(s, "date_dim.d_year", rng), 1+rng.Int63n(20), 40+rng.Int63n(60))
+		}},
+		{Name: "ds_web_site", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT web_name, COUNT(*), SUM(ws_net_profit) FROM web_sales, web_site, date_dim "+
+					"WHERE ws_web_site_sk = web_site_sk AND ws_sold_date_sk = d_date_sk AND d_qoy = %d AND d_year = %d "+
+					"GROUP BY web_name ORDER BY web_name",
+				eqVal(s, "date_dim.d_qoy", rng), eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_inventory", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "inventory.inv_quantity_on_hand", 0.05, rng)
+			return fmt.Sprintf(
+				"SELECT w_warehouse_name, i_item_id, COUNT(*) FROM inventory, warehouse, item, date_dim "+
+					"WHERE inv_warehouse_sk = w_warehouse_sk AND inv_item_sk = i_item_sk AND inv_date_sk = d_date_sk "+
+					"AND inv_quantity_on_hand BETWEEN %d AND %d AND d_moy = %d "+
+					"GROUP BY w_warehouse_name, i_item_id ORDER BY i_item_id LIMIT 100",
+				lo, hi, eqVal(s, "date_dim.d_moy", rng))
+		}},
+		{Name: "ds_store_returns", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT s_store_name, r_reason_desc, COUNT(*), SUM(sr_return_amt) FROM store_returns, store, reason, date_dim "+
+					"WHERE sr_store_sk = s_store_sk AND sr_reason_sk = r_reason_sk AND sr_returned_date_sk = d_date_sk "+
+					"AND d_year = %d GROUP BY s_store_name, r_reason_desc ORDER BY s_store_name LIMIT 100",
+				eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_catalog_returns", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT cc_name, COUNT(*), SUM(cr_net_loss) FROM catalog_returns, call_center, date_dim "+
+					"WHERE cr_call_center_sk = cc_call_center_sk AND cr_returned_date_sk = d_date_sk "+
+					"AND d_moy = %d AND d_year = %d GROUP BY cc_name ORDER BY cc_name",
+				eqVal(s, "date_dim.d_moy", rng), eqVal(s, "date_dim.d_year", rng))
+		}},
+		{Name: "ds_web_returns", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT wp_type, COUNT(*) FROM web_returns, web_page, reason "+
+					"WHERE wr_web_page_sk = wp_web_page_sk AND wr_reason_sk = r_reason_sk AND wr_return_quantity < %d "+
+					"GROUP BY wp_type ORDER BY wp_type",
+				1+rng.Int63n(50))
+		}},
+		{Name: "ds_cust_profile", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT cd_education_status, COUNT(*) FROM customer, customer_address, customer_demographics "+
+					"WHERE c_current_addr_sk = ca_address_sk AND c_current_cdemo_sk = cd_demo_sk "+
+					"AND ca_state IN (%s) AND cd_purchase_estimate > %d "+
+					"GROUP BY cd_education_status ORDER BY cd_education_status",
+				fmtIn(inList(s, "customer_address.ca_state", 3, rng)), eqVal(s, "customer_demographics.cd_purchase_estimate", rng))
+		}},
+		{Name: "ds_ss_quantiles", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "store_sales.ss_sales_price", 0.02, rng)
+			return fmt.Sprintf(
+				"SELECT ss_store_sk, COUNT(*), AVG(ss_net_profit) FROM store_sales "+
+					"WHERE ss_quantity BETWEEN %d AND %d AND ss_sales_price BETWEEN %d AND %d "+
+					"GROUP BY ss_store_sk ORDER BY ss_store_sk",
+				1+rng.Int63n(30), 50+rng.Int63n(50), lo, hi)
+		}},
+		{Name: "ds_promo", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT p_promo_name, SUM(ss_ext_sales_price) FROM store_sales, promotion, item "+
+					"WHERE ss_promo_sk = p_promo_sk AND ss_item_sk = i_item_sk AND p_channel_email = %d "+
+					"AND i_category_id = %d GROUP BY p_promo_name ORDER BY p_promo_name",
+				eqVal(s, "promotion.p_channel_email", rng), eqVal(s, "item.i_category_id", rng))
+		}},
+		{Name: "ds_ship_mode", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT sm_type, w_warehouse_name, COUNT(*) FROM catalog_sales, ship_mode, warehouse "+
+					"WHERE cs_ship_mode_sk = sm_ship_mode_sk AND cs_warehouse_sk = w_warehouse_sk "+
+					"AND cs_list_price > %d GROUP BY sm_type, w_warehouse_name ORDER BY sm_type",
+				eqVal(s, "catalog_sales.cs_list_price", rng))
+		}},
+		{Name: "ds_time_of_day", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			hlo := rng.Int63n(20)
+			return fmt.Sprintf(
+				"SELECT t_hour, COUNT(*) FROM store_sales, time_dim WHERE ss_sold_time_sk = t_time_sk "+
+					"AND t_hour BETWEEN %d AND %d AND ss_wholesale_cost < %d GROUP BY t_hour ORDER BY t_hour",
+				hlo, hlo+3, eqVal(s, "store_sales.ss_wholesale_cost", rng))
+		}},
+		{Name: "ds_top_customers", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, _ := rangeFrac(s, "catalog_sales.cs_net_paid", 0.3, rng)
+			return fmt.Sprintf(
+				"SELECT cs_bill_customer_sk, SUM(cs_net_paid) FROM catalog_sales WHERE cs_net_paid > %d "+
+					"GROUP BY cs_bill_customer_sk ORDER BY cs_bill_customer_sk DESC LIMIT 100", lo)
+		}},
+	}
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+)
+
+// TPCHTemplates returns the 22 TPC-H query templates adapted to the
+// reproduction's dialect. Subqueries, LIKE patterns and arithmetic in the
+// originals are flattened to the join/filter/aggregate skeletons that drive
+// index selection — the predicate columns, join keys, grouping and ordering
+// match the originals, which is what index advisors (and PIPA) react to.
+// Predicate ranges are tightened relative to the official refresh parameters
+// so that good index configurations pay off on the simulated cost surface by
+// factors comparable to the paper's PostgreSQL testbed.
+func TPCHTemplates() []Template {
+	return []Template{
+		{Name: "q1", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_shipdate", 0.03, rng)
+			return fmt.Sprintf(
+				"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*) "+
+					"FROM lineitem WHERE l_shipdate BETWEEN %d AND %d GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag", lo, hi)
+		}},
+		{Name: "q2", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT s_acctbal, s_name, p_partkey FROM part, partsupp, supplier "+
+					"WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = %d AND p_type = %d "+
+					"ORDER BY s_acctbal DESC LIMIT 100",
+				eqVal(s, "part.p_size", rng), eqVal(s, "part.p_type", rng))
+		}},
+		{Name: "q3", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, _ := rangeFrac(s, "orders.o_orderdate", 0.01, rng)
+			return fmt.Sprintf(
+				"SELECT l_orderkey, SUM(l_extendedprice) FROM customer, orders, lineitem "+
+					"WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND c_mktsegment = %d AND o_orderdate < %d "+
+					"GROUP BY l_orderkey ORDER BY l_orderkey LIMIT 10",
+				eqVal(s, "customer.c_mktsegment", rng), lo)
+		}},
+		{Name: "q4", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "orders.o_orderdate", 0.01, rng)
+			return fmt.Sprintf(
+				"SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate BETWEEN %d AND %d "+
+					"GROUP BY o_orderpriority ORDER BY o_orderpriority", lo, hi)
+		}},
+		{Name: "q5", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "orders.o_orderdate", 0.008, rng)
+			return fmt.Sprintf(
+				"SELECT n_name, SUM(l_extendedprice) FROM customer, orders, lineitem, supplier, nation, region "+
+					"WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey "+
+					"AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "+
+					"AND r_name = %d AND o_orderdate BETWEEN %d AND %d GROUP BY n_name ORDER BY n_name",
+				eqVal(s, "region.r_name", rng), lo, hi)
+		}},
+		{Name: "q6", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_shipdate", 0.01, rng)
+			dlo, dhi := rangeFrac(s, "lineitem.l_discount", 0.25, rng)
+			return fmt.Sprintf(
+				"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN %d AND %d "+
+					"AND l_discount BETWEEN %d AND %d AND l_quantity < %d",
+				lo, hi, dlo, dhi, 1+rng.Int63n(25))
+		}},
+		{Name: "q7", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_shipdate", 0.03, rng)
+			return fmt.Sprintf(
+				"SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, orders, customer, nation "+
+					"WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey "+
+					"AND s_nationkey = n_nationkey AND l_shipdate BETWEEN %d AND %d AND n_name IN (%s) "+
+					"GROUP BY n_name ORDER BY n_name", lo, hi, fmtIn(inList(s, "nation.n_name", 2, rng)))
+		}},
+		{Name: "q8", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "orders.o_orderdate", 0.008, rng)
+			return fmt.Sprintf(
+				"SELECT o_orderdate, SUM(l_extendedprice) FROM part, lineitem, orders, customer "+
+					"WHERE p_partkey = l_partkey AND l_orderkey = o_orderkey AND o_custkey = c_custkey "+
+					"AND o_orderdate BETWEEN %d AND %d AND p_type = %d GROUP BY o_orderdate",
+				lo, hi, eqVal(s, "part.p_type", rng))
+		}},
+		{Name: "q9", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT n_name, SUM(l_extendedprice) FROM part, supplier, lineitem, partsupp, nation "+
+					"WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey "+
+					"AND p_partkey = l_partkey AND s_nationkey = n_nationkey AND p_mfgr = %d AND p_brand = %d "+
+					"GROUP BY n_name ORDER BY n_name DESC",
+				eqVal(s, "part.p_mfgr", rng), eqVal(s, "part.p_brand", rng))
+		}},
+		{Name: "q10", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "orders.o_orderdate", 0.01, rng)
+			return fmt.Sprintf(
+				"SELECT c_custkey, c_name, SUM(l_extendedprice) FROM customer, orders, lineitem "+
+					"WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND o_orderdate BETWEEN %d AND %d "+
+					"AND l_returnflag = %d GROUP BY c_custkey, c_name LIMIT 20",
+				lo, hi, eqVal(s, "lineitem.l_returnflag", rng))
+		}},
+		{Name: "q11", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp, supplier, nation "+
+					"WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = %d "+
+					"GROUP BY ps_partkey", eqVal(s, "nation.n_name", rng))
+		}},
+		{Name: "q12", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_receiptdate", 0.015, rng)
+			return fmt.Sprintf(
+				"SELECT l_shipmode, COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey "+
+					"AND l_shipmode IN (%s) AND l_receiptdate BETWEEN %d AND %d "+
+					"GROUP BY l_shipmode ORDER BY l_shipmode",
+				fmtIn(inList(s, "lineitem.l_shipmode", 2, rng)), lo, hi)
+		}},
+		{Name: "q13", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT c_custkey, COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey "+
+					"AND o_orderstatus = %d GROUP BY c_custkey LIMIT 100",
+				eqVal(s, "orders.o_orderstatus", rng))
+		}},
+		{Name: "q14", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_shipdate", 0.008, rng)
+			return fmt.Sprintf(
+				"SELECT SUM(l_extendedprice) FROM lineitem, part WHERE l_partkey = p_partkey "+
+					"AND l_shipdate BETWEEN %d AND %d", lo, hi)
+		}},
+		{Name: "q15", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_shipdate", 0.015, rng)
+			return fmt.Sprintf(
+				"SELECT s_suppkey, s_name, SUM(l_extendedprice) FROM supplier, lineitem "+
+					"WHERE s_suppkey = l_suppkey AND l_shipdate BETWEEN %d AND %d "+
+					"GROUP BY s_suppkey, s_name ORDER BY s_suppkey LIMIT 50", lo, hi)
+		}},
+		{Name: "q16", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT p_brand, p_type, COUNT(*) FROM partsupp, part WHERE p_partkey = ps_partkey "+
+					"AND p_brand = %d AND p_size IN (%s) GROUP BY p_brand, p_type ORDER BY p_brand",
+				eqVal(s, "part.p_brand", rng), fmtIn(inList(s, "part.p_size", 3, rng)))
+		}},
+		{Name: "q17", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			return fmt.Sprintf(
+				"SELECT AVG(l_extendedprice) FROM lineitem, part WHERE p_partkey = l_partkey "+
+					"AND p_brand = %d AND p_container = %d AND l_quantity < %d",
+				eqVal(s, "part.p_brand", rng), eqVal(s, "part.p_container", rng), 1+rng.Int63n(10))
+		}},
+		{Name: "q18", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo := gtThreshold(s, "orders.o_totalprice", 0.005, rng)
+			return fmt.Sprintf(
+				"SELECT c_custkey, o_orderkey, SUM(l_quantity) FROM customer, orders, lineitem "+
+					"WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND o_totalprice > %d "+
+					"GROUP BY c_custkey, o_orderkey ORDER BY o_orderkey DESC LIMIT 100", lo)
+		}},
+		{Name: "q19", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			qlo := 1 + rng.Int63n(20)
+			return fmt.Sprintf(
+				"SELECT SUM(l_extendedprice) FROM lineitem, part WHERE p_partkey = l_partkey "+
+					"AND p_brand = %d AND p_container IN (%s) AND l_quantity BETWEEN %d AND %d",
+				eqVal(s, "part.p_brand", rng), fmtIn(inList(s, "part.p_container", 3, rng)), qlo, qlo+10)
+		}},
+		{Name: "q20", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo := gtThreshold(s, "partsupp.ps_availqty", 0.3, rng)
+			return fmt.Sprintf(
+				"SELECT s_name, s_address FROM supplier, nation, partsupp "+
+					"WHERE s_nationkey = n_nationkey AND ps_suppkey = s_suppkey AND n_name = %d "+
+					"AND ps_availqty > %d ORDER BY s_name LIMIT 50",
+				eqVal(s, "nation.n_name", rng), lo)
+		}},
+		{Name: "q21", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo, hi := rangeFrac(s, "lineitem.l_receiptdate", 0.02, rng)
+			return fmt.Sprintf(
+				"SELECT s_name, COUNT(*) FROM supplier, lineitem, orders, nation "+
+					"WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "+
+					"AND o_orderstatus = %d AND l_receiptdate BETWEEN %d AND %d AND n_name = %d "+
+					"GROUP BY s_name ORDER BY s_name LIMIT 100",
+				eqVal(s, "orders.o_orderstatus", rng), lo, hi, eqVal(s, "nation.n_name", rng))
+		}},
+		{Name: "q22", Build: func(s *catalog.Schema, rng *rand.Rand) string {
+			lo := gtThreshold(s, "customer.c_acctbal", 0.3, rng)
+			return fmt.Sprintf(
+				"SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer "+
+					"WHERE c_acctbal > %d AND c_nationkey IN (%s) GROUP BY c_nationkey ORDER BY c_nationkey",
+				lo, fmtIn(inList(s, "customer.c_nationkey", 7, rng)))
+		}},
+	}
+}
