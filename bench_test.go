@@ -30,13 +30,19 @@ var tinySetup = experiments.NewSetup("tpch", 1, experiments.ScaleTiny)
 
 // --- macro benchmarks: the paper's tables and figures ---
 
-// BenchmarkFig1Motivation regenerates the Fig. 1 motivating comparison.
+// BenchmarkFig1Motivation regenerates the Fig. 1 motivating comparison. It
+// also reports the what-if cache hit volume per iteration — the memoization
+// layer dominates this benchmark's profile.
 func BenchmarkFig1Motivation(b *testing.B) {
+	calls0, hits0 := tinySetup.WhatIf.Stats()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunMotivation(tinySetup); err != nil {
 			b.Fatal(err)
 		}
 	}
+	calls, hits := tinySetup.WhatIf.Stats()
+	b.ReportMetric(float64(calls-calls0)/float64(b.N), "whatif-calls/op")
+	b.ReportMetric(float64(hits-hits0)/float64(b.N), "whatif-hits/op")
 }
 
 // BenchmarkFig7MainResult regenerates Fig. 7's AD boxes (one advisor at
@@ -150,6 +156,9 @@ func BenchmarkWhatIfCached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.QueryCost(q, idx)
 	}
+	b.StopTimer()
+	st := w.CacheStats()
+	b.ReportMetric(st.HitRate(), "hit-rate")
 }
 
 func BenchmarkSQLParse(b *testing.B) {

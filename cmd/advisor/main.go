@@ -17,6 +17,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -27,7 +28,17 @@ func main() {
 	n := flag.Int("n", 0, "workload size (0 = paper default)")
 	trajectories := flag.Int("trajectories", 120, "training trajectories")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, err := obs.StartServer(*metricsAddr, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "advisor:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "advisor: serving metrics on http://%s/metrics\n", bound)
+	}
 
 	var s *catalog.Schema
 	switch *benchmark {

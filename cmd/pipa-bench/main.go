@@ -5,6 +5,7 @@
 //
 //	pipa-bench -exp fig7 -benchmark tpch -sf 1
 //	pipa-bench -exp table3
+//	pipa-bench -exp fig1 -report /tmp/fig1.json
 //	pipa-bench -exp all -full        # paper-scale budgets; hours
 package main
 
@@ -12,117 +13,192 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/advisor/registry"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
+// experimentIDs maps every accepted -exp value to the experiments it runs;
+// aliases (fig7/table1, fig9/table2) share a runner.
+var experimentIDs = []string{
+	"fig1", "fig7", "table1", "fig8", "fig9", "table2",
+	"fig10", "fig11", "fig12", "table3", "all",
+}
+
+func validExp(id string) bool {
+	for _, k := range experimentIDs {
+		if id == k {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig7, table1, fig8, fig9, table2, fig10, fig11, fig12, table3, all")
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experimentIDs, ", "))
 	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
 	sf := flag.Float64("sf", 1, "scale factor")
 	full := flag.Bool("full", false, "paper-scale budgets (10 runs, 400 trajectories, P=20)")
 	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
+	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address (e.g. :8080)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pipa-bench:", err)
+		os.Exit(1)
+	}
+
+	// Validate flags before any training starts: a typo in -exp or -advisors
+	// should fail in milliseconds, not after minutes of setup.
+	if !validExp(*exp) {
+		fmt.Fprintf(os.Stderr, "pipa-bench: unknown experiment %q (want one of %s)\n",
+			*exp, strings.Join(experimentIDs, ", "))
+		os.Exit(2)
+	}
+	advisorList := strings.Split(*advisors, ",")
+	for i, name := range advisorList {
+		advisorList[i] = strings.TrimSpace(name)
+		if !registry.Valid(advisorList[i]) {
+			fmt.Fprintf(os.Stderr, "pipa-bench: unknown advisor %q (want one of %s or Heuristic)\n",
+				advisorList[i], strings.Join(registry.PaperAdvisors, ", "))
+			os.Exit(2)
+		}
+	}
+
+	if *report != "" {
+		// Probe the path now: a typo'd -report should not cost a full run.
+		f, err := os.Create(*report)
+		if err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+
+	for _, srv := range []struct {
+		addr  string
+		pprof bool
+	}{{*metricsAddr, false}, {*pprofAddr, true}} {
+		if srv.addr == "" {
+			continue
+		}
+		bound, err := obs.StartServer(srv.addr, srv.pprof)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipa-bench: serving metrics on http://%s/metrics\n", bound)
+	}
 
 	scale := experiments.ScaleFast
 	if *full {
 		scale = experiments.ScaleFull
 	}
 	setup := experiments.NewSetup(*benchmark, *sf, scale)
-	advisorList := strings.Split(*advisors, ",")
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
-	ran := false
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "pipa-bench:", err)
-		os.Exit(1)
+	run := func(id string, f func() (fmt.Stringer, error)) {
+		span := obs.StartSpan("experiment:" + id)
+		r, err := f()
+		span.End()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
 	}
 
 	if want("fig1") {
-		ran = true
-		r, err := experiments.RunMotivation(setup)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig1", func() (fmt.Stringer, error) { return experiments.RunMotivation(setup) })
 	}
 	if want("fig7") || want("table1") {
-		ran = true
-		r, err := experiments.RunMainResult(setup, advisorList)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig7", func() (fmt.Stringer, error) { return experiments.RunMainResult(setup, advisorList) })
 	}
 	if want("fig8") {
-		ran = true
-		r, err := experiments.RunCaseStudies(setup)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig8", func() (fmt.Stringer, error) { return experiments.RunCaseStudies(setup) })
 	}
 	if want("fig9") || want("table2") {
-		ran = true
 		omegas := []float64{0.01, 0.1, 1, 10, 100}
 		na := 180
 		if !*full {
 			na = 36
 		}
-		r, err := experiments.RunInjectionSize(setup, advisorList, omegas, na)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig9", func() (fmt.Stringer, error) {
+			return experiments.RunInjectionSize(setup, advisorList, omegas, na)
+		})
 	}
 	if want("fig10") {
-		ran = true
-		L := float64(setup.Schema.NumColumns())
-		_ = L
-		r, err := experiments.RunBoundaries(setup, "DQN-b",
-			[]int{2, 3, 4, 5, 6, 7},
-			[]float64{1.0 / 8, 1.0 / 4, 3.0 / 8, 1.0 / 2, 3.0 / 4, 7.0 / 8})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig10", func() (fmt.Stringer, error) {
+			return experiments.RunBoundaries(setup, "DQN-b",
+				[]int{2, 3, 4, 5, 6, 7},
+				[]float64{1.0 / 8, 1.0 / 4, 3.0 / 8, 1.0 / 2, 3.0 / 4, 7.0 / 8})
+		})
 	}
 	if want("fig11") {
-		ran = true
-		ps := []int{0, 2, 4, 8, 12, 16, 20}
-		r, err := experiments.RunProbingEpochs(setup, []string{"DQN-b", "SWIRL"}, ps)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig11", func() (fmt.Stringer, error) {
+			return experiments.RunProbingEpochs(setup, []string{"DQN-b", "SWIRL"}, []int{0, 2, 4, 8, 12, 16, 20})
+		})
 	}
 	if want("fig12") {
-		ran = true
 		n := float64(setup.Schema.NumColumns())
 		betas := []float64{0, 1 / (20 + n), 1 / (10 + n), 1 / (5 + n), 1 / (2 + n), 1 / (4.0/3 + n)}
-		r, err := experiments.RunProbingParams(setup, "DQN-b",
-			[]float64{0.01, 0.05, 0.1, 0.5, 1, 10}, betas)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(r)
+		run("fig12", func() (fmt.Stringer, error) {
+			return experiments.RunProbingParams(setup, "DQN-b",
+				[]float64{0.01, 0.05, 0.1, 0.5, 1, 10}, betas)
+		})
 	}
 	if want("table3") {
-		ran = true
 		n := 200
 		if *full {
 			n = 1000 // the paper's N
 		}
-		r, err := experiments.RunGeneratorQuality(setup, n)
-		if err != nil {
+		run("table3", func() (fmt.Stringer, error) { return experiments.RunGeneratorQuality(setup, n) })
+	}
+
+	printCacheStats(setup)
+
+	if *report != "" {
+		labels := map[string]string{
+			"exp":       *exp,
+			"benchmark": *benchmark,
+			"sf":        fmt.Sprintf("%g", *sf),
+			"advisors":  strings.Join(advisorList, ","),
+		}
+		if err := obs.Default.BuildReport("pipa-bench", labels).WriteFile(*report); err != nil {
 			fail(err)
 		}
-		fmt.Println(r)
+		fmt.Fprintf(os.Stderr, "pipa-bench: wrote run report to %s\n", *report)
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "pipa-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+}
+
+// printCacheStats summarizes the what-if cache and plan-decision telemetry at
+// the end of every run; the cache hit rate is the single best indicator of
+// how much the memoization layer is saving.
+func printCacheStats(setup *experiments.Setup) {
+	st := setup.WhatIf.CacheStats()
+	fmt.Printf("\nwhat-if cache: %d calls, %d hits (%.1f%% hit rate), %d entries",
+		st.Calls, st.Hits, 100*st.HitRate(), st.Entries)
+	if st.Evictions > 0 {
+		fmt.Printf(", %d evictions", st.Evictions)
+	}
+	fmt.Println()
+
+	counters := obs.Default.Metrics.Snapshot().Counters
+	var keys []string
+	for k := range counters {
+		if strings.HasPrefix(k, "cost_plan_access_total{") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		kind := strings.TrimSuffix(strings.TrimPrefix(k, `cost_plan_access_total{kind="`), `"}`)
+		parts = append(parts, fmt.Sprintf("%s %d", kind, counters[k]))
+	}
+	if len(parts) > 0 {
+		fmt.Printf("plan access paths: %s\n", strings.Join(parts, ", "))
 	}
 }

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/advisor/registry"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pipa"
 )
 
@@ -24,7 +26,38 @@ func main() {
 	runs := flag.Int("runs", 3, "independent runs (fresh workload + training each)")
 	full := flag.Bool("full", false, "use the paper-scale budgets (slow)")
 	verbose := flag.Bool("v", false, "print per-run details")
+	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
 	flag.Parse()
+
+	if !registry.Valid(*advisorName) {
+		fmt.Fprintf(os.Stderr, "pipa: unknown advisor %q\n", *advisorName)
+		os.Exit(2)
+	}
+	if *report != "" {
+		// Probe the path now: a typo'd -report should not cost a full run.
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipa:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	for _, srv := range []struct {
+		addr  string
+		pprof bool
+	}{{*metricsAddr, false}, {*pprofAddr, true}} {
+		if srv.addr == "" {
+			continue
+		}
+		bound, err := obs.StartServer(srv.addr, srv.pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipa:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pipa: serving metrics on http://%s/metrics\n", bound)
+	}
 
 	scale := experiments.ScaleFast
 	if *full {
@@ -65,4 +98,19 @@ func main() {
 	st2 := experiments.NewStats(ads)
 	fmt.Printf("\n%s vs %s on %s: mean AD %+.3f (min %+.3f, max %+.3f, std %.3f, %d runs)\n",
 		*injector, *advisorName, setup.Name, st2.Mean, st2.Min, st2.Max, st2.Std, st2.N)
+
+	cs := setup.WhatIf.CacheStats()
+	fmt.Printf("what-if cache: %d calls, %d hits (%.1f%% hit rate)\n", cs.Calls, cs.Hits, 100*cs.HitRate())
+
+	if *report != "" {
+		labels := map[string]string{
+			"advisor": *advisorName, "injector": *injector,
+			"benchmark": *benchmark, "sf": fmt.Sprintf("%g", *sf),
+		}
+		if err := obs.Default.BuildReport("pipa", labels).WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, "pipa:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pipa: wrote run report to %s\n", *report)
+	}
 }

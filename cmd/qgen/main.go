@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/qgen"
 )
 
@@ -26,7 +27,17 @@ func main() {
 	reward := flag.Float64("reward", 0.5, "target relative cost reduction in [0, 1)")
 	n := flag.Int("n", 3, "number of queries")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, err := obs.StartServer(*metricsAddr, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qgen: serving metrics on http://%s/metrics\n", bound)
+	}
 
 	var s *catalog.Schema
 	switch *benchmark {

@@ -14,7 +14,15 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/workload"
+)
+
+// Episode-level counters shared by every learned advisor; cached handles
+// keep the per-step cost to one atomic add.
+var (
+	episodesTotal     = obs.GetCounter("advisor_episodes_total")
+	episodeStepsTotal = obs.GetCounter("advisor_episode_steps_total")
 )
 
 // Advisor is an updatable learned index advisor.
@@ -101,6 +109,15 @@ func DefaultConfig() Config {
 		Epsilon:           0.2,
 		Seed:              1,
 	}
+}
+
+// RecordTrainReward feeds one training trajectory's total reward into the
+// observability layer: a per-advisor reward series (the learning curve the
+// run report exports) and a last-reward gauge. Advisors call it from their
+// training loops next to the Config.Trace hook.
+func RecordTrainReward(advisorName string, reward float64) {
+	obs.Record(obs.Name("advisor_train_reward", "advisor", advisorName), reward)
+	obs.SetGauge(obs.Name("advisor_last_train_reward", "advisor", advisorName), reward)
 }
 
 // Env is the index-selection environment shared by all learned advisors:
@@ -252,6 +269,7 @@ type Episode struct {
 
 // NewEpisode starts a rollout for the workload.
 func (e *Env) NewEpisode(w *workload.Workload, budget int) *Episode {
+	episodesTotal.Inc()
 	ep := &Episode{
 		env: e, w: w, budget: budget,
 		perBase:   make([]float64, w.Len()),
@@ -305,6 +323,7 @@ func (ep *Episode) Step(col int) float64 {
 	if ep.Done() || ep.chosenSet[col] {
 		return 0
 	}
+	episodeStepsTotal.Inc()
 	ep.chosen = append(ep.chosen, col)
 	ep.chosenSet[col] = true
 	ep.indexes = append(ep.indexes, cost.NewIndex(ep.env.Columns[col]))

@@ -109,6 +109,7 @@ func (bd *Bandit) trainOn(w *workload.Workload) {
 		} else {
 			lowRounds = 0
 		}
+		advisor.RecordTrainReward(bd.Name(), total)
 		if bd.cfg.Trace != nil {
 			bd.cfg.Trace(total)
 		}

@@ -123,6 +123,7 @@ func (d *DQN) trainOn(w *workload.Workload, anneal bool) {
 			d.remember(transition{state, action, r, next, ep.Done()})
 			d.trainBatch()
 		}
+		advisor.RecordTrainReward(d.Name(), ep.TotalReduction())
 		if d.cfg.Trace != nil {
 			d.cfg.Trace(ep.TotalReduction())
 		}

@@ -126,6 +126,7 @@ func (d *DRLindex) trainOn(w *workload.Workload, anneal bool) {
 			d.remember(transition{state, action, r, next, ep.Done()})
 			d.trainBatch()
 		}
+		advisor.RecordTrainReward(d.Name(), ep.TotalReduction())
 		if d.cfg.Trace != nil {
 			d.cfg.Trace(ep.TotalReduction())
 		}

@@ -55,6 +55,16 @@ func New(name string, env *advisor.Env, cfg advisor.Config) (advisor.Advisor, er
 	}
 }
 
+// Valid reports whether New recognises the advisor name; CLI tools use it to
+// reject bad -advisors lists before any training starts.
+func Valid(name string) bool {
+	switch base, _ := splitVariant(name); base {
+	case "DQN", "DRLindex", "DBAbandit", "SWIRL", "Heuristic":
+		return true
+	}
+	return false
+}
+
 func splitVariant(name string) (string, advisor.Variant) {
 	if len(name) > 2 && name[len(name)-2] == '-' {
 		switch name[len(name)-1] {

@@ -93,6 +93,7 @@ func (s *SWIRL) trainOn(w *workload.Workload) {
 
 	for t := 0; t < s.cfg.Trajectories; t++ {
 		steps, totalReward := s.rollout(w, feats)
+		advisor.RecordTrainReward(s.Name(), totalReward)
 		if s.cfg.Trace != nil {
 			s.cfg.Trace(totalReward)
 		}

@@ -1,6 +1,11 @@
 package advisor
 
-import "repro/internal/cost"
+import (
+	"repro/internal/cost"
+	"repro/internal/obs"
+)
+
+var trialsTotal = obs.GetCounter("advisor_trials_total")
 
 // Trial is one inference trial trajectory: the index configuration it
 // produced and its achieved reward (total relative cost reduction).
@@ -16,6 +21,11 @@ type Trial struct {
 func SelectTrial(trials []Trial, v Variant, window int) []cost.Index {
 	if len(trials) == 0 {
 		return nil
+	}
+	trialsTotal.Add(int64(len(trials)))
+	rewards := obs.Default.Metrics.Histogram("advisor_trial_reward", nil)
+	for _, t := range trials {
+		rewards.Observe(t.Reward)
 	}
 	if v == Best {
 		best := 0

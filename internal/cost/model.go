@@ -5,7 +5,25 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/sql"
+)
+
+// Per-decision counters, one per access path and join method, cached so the
+// planner hot path pays one atomic add per decision.
+var (
+	accessCounters = [...]*obs.Counter{
+		ScanSeq:       obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "SeqScan")),
+		ScanIndex:     obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexScan")),
+		ScanIndexOnly: obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexOnlyScan")),
+		ScanIndexFull: obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexFullScan")),
+	}
+	joinCounters = [...]*obs.Counter{
+		JoinHash:    obs.GetCounter(obs.Name("cost_plan_join_total", "method", "HashJoin")),
+		JoinIndexNL: obs.GetCounter(obs.Name("cost_plan_join_total", "method", "IndexNLJoin")),
+		JoinCross:   obs.GetCounter(obs.Name("cost_plan_join_total", "method", "CrossJoin")),
+	}
+	plansTotal = obs.GetCounter("cost_plans_total")
 )
 
 // ScanKind is the chosen access path for one table.
@@ -182,11 +200,18 @@ func (m *Model) Plan(q *sql.Query, indexes []Index) (*Plan, error) {
 		plan.OutRows = float64(q.Limit)
 	}
 
+	plansTotal.Inc()
 	for _, a := range plan.Access {
 		plan.Total += a.Cost
+		if int(a.Kind) < len(accessCounters) {
+			accessCounters[a.Kind].Inc()
+		}
 	}
 	for _, j := range plan.Joins {
 		plan.Total += j.Cost
+		if int(j.Method) < len(joinCounters) {
+			joinCounters[j.Method].Inc()
+		}
 	}
 	plan.Total += plan.SortCost + plan.AggCost
 	return plan, nil

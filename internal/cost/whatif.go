@@ -5,23 +5,56 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sql"
+)
+
+// Cached handles into the process-wide metrics registry; a single atomic
+// add per event keeps the what-if hot path cheap.
+var (
+	whatifCalls  = obs.GetCounter("cost_whatif_calls_total")
+	whatifHits   = obs.GetCounter("cost_whatif_hits_total")
+	whatifEvicts = obs.GetCounter("cost_whatif_evictions_total")
+	whatifSize   = obs.GetGauge("cost_whatif_entries")
 )
 
 // WhatIf memoizes what-if optimizer calls. Advisors re-cost the same
 // (query, index set) pairs thousands of times during training; this cache
 // plays the role of the hypothetical-index call layer in the paper's testbed.
 // It is safe for concurrent use.
+//
+// MaxEntries bounds the cache (0 = unbounded). When full, an arbitrary
+// entry is evicted; eviction only affects recomputation, never values, so
+// experiments stay deterministic.
 type WhatIf struct {
-	Model *Model
+	Model      *Model
+	MaxEntries int
 
-	mu    sync.Mutex
-	cache map[string]float64
-	calls int64
-	hits  int64
+	mu     sync.Mutex
+	cache  map[string]float64
+	calls  int64
+	hits   int64
+	evicts int64
 }
 
-// NewWhatIf wraps a model with a cache.
+// CacheStats is a point-in-time view of the what-if cache.
+type CacheStats struct {
+	Calls     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// HitRate returns hits/calls, or 0 before any call.
+func (s CacheStats) HitRate() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Calls)
+}
+
+// NewWhatIf wraps a model with an unbounded cache.
 func NewWhatIf(m *Model) *WhatIf {
 	return &WhatIf{Model: m, cache: make(map[string]float64)}
 }
@@ -31,15 +64,26 @@ func (w *WhatIf) QueryCost(q *sql.Query, indexes []Index) float64 {
 	key := cacheKey(q, indexes)
 	w.mu.Lock()
 	w.calls++
+	whatifCalls.Inc()
 	if c, ok := w.cache[key]; ok {
 		w.hits++
+		whatifHits.Inc()
 		w.mu.Unlock()
 		return c
 	}
 	w.mu.Unlock()
 	c := w.Model.QueryCost(q, indexes)
 	w.mu.Lock()
+	if w.MaxEntries > 0 && len(w.cache) >= w.MaxEntries {
+		for k := range w.cache { // arbitrary victim; see type comment
+			delete(w.cache, k)
+			w.evicts++
+			whatifEvicts.Inc()
+			break
+		}
+	}
 	w.cache[key] = c
+	whatifSize.Set(float64(len(w.cache)))
 	w.mu.Unlock()
 	return c
 }
@@ -72,6 +116,19 @@ func (w *WhatIf) Stats() (calls, hits int64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.calls, w.hits
+}
+
+// CacheStats reports the full cache counters.
+func (w *WhatIf) CacheStats() CacheStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return CacheStats{
+		Calls:     w.calls,
+		Hits:      w.hits,
+		Misses:    w.calls - w.hits,
+		Evictions: w.evicts,
+		Entries:   len(w.cache),
+	}
 }
 
 func cacheKey(q *sql.Query, indexes []Index) string {

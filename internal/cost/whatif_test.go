@@ -1,0 +1,123 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/sql"
+)
+
+func whatifQuery(t testing.TB, s *catalog.Schema, src string) *sql.Query {
+	t.Helper()
+	q, err := sql.ParseResolved(src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestWhatIfCacheStats(t *testing.T) {
+	s := catalog.TPCH(1)
+	w := NewWhatIf(NewModel(s))
+	q := whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17")
+	idx := []Index{NewIndex("lineitem.l_partkey")}
+
+	before := obs.GetCounter("cost_whatif_calls_total").Value()
+	w.QueryCost(q, idx)
+	w.QueryCost(q, idx)
+	w.QueryCost(q, nil)
+
+	st := w.CacheStats()
+	if st.Calls != 3 || st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 1.0/3 {
+		t.Fatalf("hit rate = %v", got)
+	}
+	calls, hits := w.Stats()
+	if calls != 3 || hits != 1 {
+		t.Fatalf("Stats() = %d, %d", calls, hits)
+	}
+	if d := obs.GetCounter("cost_whatif_calls_total").Value() - before; d != 3 {
+		t.Fatalf("obs calls delta = %d, want 3", d)
+	}
+}
+
+func TestWhatIfEviction(t *testing.T) {
+	s := catalog.TPCH(1)
+	w := NewWhatIf(NewModel(s))
+	w.MaxEntries = 2
+	queries := []*sql.Query{
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 1"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 2"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 3"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 4"),
+	}
+	for _, q := range queries {
+		w.QueryCost(q, nil)
+	}
+	st := w.CacheStats()
+	if st.Entries > 2 {
+		t.Fatalf("cache exceeded cap: %+v", st)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	// Evicted or not, values must be identical on recomputation.
+	c1 := w.QueryCost(queries[0], nil)
+	c2 := w.Model.QueryCost(queries[0], nil)
+	if c1 != c2 {
+		t.Fatalf("evicting cache changed value: %v vs %v", c1, c2)
+	}
+}
+
+// TestWhatIfBoundedConcurrent hammers a capped cache: eviction churn must
+// never change values or race.
+func TestWhatIfBoundedConcurrent(t *testing.T) {
+	s := catalog.TPCH(1)
+	w := NewWhatIf(NewModel(s))
+	w.MaxEntries = 8
+	q := whatifQuery(t, s, "SELECT COUNT(*) FROM orders WHERE o_custkey < 500")
+	want := w.Model.QueryCost(q, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := w.QueryCost(q, nil); got != want {
+					t.Errorf("concurrent cost = %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if calls, _ := w.Stats(); calls != 1600 {
+		t.Fatalf("calls = %d, want 1600", calls)
+	}
+}
+
+func TestPlanDecisionCounters(t *testing.T) {
+	s := catalog.TPCH(1)
+	m := NewModel(s)
+	seq := obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "SeqScan"))
+	indexed := func() int64 {
+		return obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexScan")).Value() +
+			obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexOnlyScan")).Value() +
+			obs.GetCounter(obs.Name("cost_plan_access_total", "kind", "IndexFullScan")).Value()
+	}
+	seq0, idx0 := seq.Value(), indexed()
+
+	q := whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17")
+	m.QueryCost(q, nil)
+	if seq.Value() == seq0 {
+		t.Fatalf("no-index plan did not count a SeqScan")
+	}
+	m.QueryCost(q, []Index{NewIndex("lineitem.l_partkey")})
+	if indexed() == idx0 {
+		t.Fatalf("indexed plan did not count an index access path")
+	}
+}

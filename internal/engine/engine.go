@@ -15,8 +15,16 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
+)
+
+// Execution telemetry. Tuples are accumulated in a per-query local and
+// flushed once per run so the scan loops stay free of atomic operations.
+var (
+	engineQueries = obs.GetCounter("engine_queries_total")
+	engineTuples  = obs.GetCounter("engine_tuples_touched_total")
 )
 
 // DB bundles a schema, its cost model, and materialized data.
@@ -55,12 +63,17 @@ type exec struct {
 	plan *cost.Plan
 	cost float64
 
-	tables []string       // joined tables in plan order
-	tblIdx map[string]int // table -> position in tuple vectors
-	tuples [][]int32      // current joined tuples
+	tables  []string       // joined tables in plan order
+	tblIdx  map[string]int // table -> position in tuple vectors
+	tuples  [][]int32      // current joined tuples
+	touched int64          // tuples processed, flushed to obs once per run
 }
 
 func (ex *exec) run() (*Result, error) {
+	defer func() {
+		engineQueries.Inc()
+		engineTuples.Add(ex.touched)
+	}()
 	p := ex.db.Model.P
 	ex.tblIdx = make(map[string]int)
 
@@ -125,6 +138,7 @@ func (ex *exec) scanTable(a *cost.TableAccess) ([]int32, error) {
 	if a.Kind == cost.ScanSeq || a.Index == nil {
 		ex.cost += seqPages(ex.db.Schema, a.Table, t.Rows, p.PageSize)*p.SeqPageCost +
 			float64(t.Rows)*p.CPUTupleCost
+		ex.touched += int64(t.Rows)
 		var out []int32
 		for r := int32(0); r < int32(t.Rows); r++ {
 			if matchAll(t, preds, r) {
@@ -148,6 +162,7 @@ func (ex *exec) scanTable(a *cost.TableAccess) ([]int32, error) {
 	for _, rg := range ranges {
 		bt.Range(rg.lo, rg.hi, func(_ int64, rid int32) bool {
 			ex.cost += p.CPUIndexTupleCost + p.RandomPageCost + p.CPUTupleCost
+			ex.touched++
 			if matchAll(t, preds, rid) {
 				out = append(out, rid)
 			}
@@ -202,6 +217,7 @@ func (ex *exec) joinStep(step cost.JoinStep, access *cost.TableAccess) error {
 			ex.cost += float64(bt.Height()) * p.RandomPageCost
 			for _, rid := range bt.Search(v) {
 				ex.cost += p.CPUIndexTupleCost + p.RandomPageCost + p.CPUTupleCost
+				ex.touched++
 				if !matchAll(t, preds, rid) {
 					continue
 				}

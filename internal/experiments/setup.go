@@ -14,6 +14,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/pipa"
 	"repro/internal/qgen"
 	"repro/internal/workload"
@@ -124,7 +125,9 @@ func (s *Setup) TrainAdvisor(name string, run int, w *workload.Workload) (adviso
 	if err != nil {
 		return nil, err
 	}
+	span := obs.StartSpan("train:" + name)
 	ia.Train(w)
+	span.End()
 	return ia, nil
 }
 

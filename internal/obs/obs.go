@@ -1,0 +1,68 @@
+// Package obs is the telemetry substrate of the reproduction: a metrics
+// registry (atomic counters, gauges, fixed-bucket histograms and bounded
+// series), a hierarchical span tracer with an injectable clock, and
+// structured run reports. Every hot layer of the pipeline — what-if costing,
+// advisor training, PIPA probing/injecting, query generation, plan
+// execution — feeds the process-wide Default observer; cmd/pipa-bench turns
+// it into a JSON run report and a Prometheus/pprof endpoint.
+//
+// Design constraints, in order: (1) hot-path cost must be a single atomic
+// add — callers cache *Counter handles at package init; (2) determinism —
+// telemetry never feeds back into experiment behaviour, and the tracer's
+// clock is injectable so tests stay reproducible (DESIGN.md §5); (3) zero
+// dependencies beyond the stdlib.
+package obs
+
+import "time"
+
+// Observer bundles one metrics registry with one span tracer.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New creates an observer. clock may be nil for wall time.
+func New(clock Clock) *Observer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(clock)}
+}
+
+// Default is the process-wide observer all instrumented packages feed.
+var Default = New(nil)
+
+// Reset zeroes every metric value and drops all recorded spans on the
+// Default observer. Registered metric objects survive, so cached handles
+// remain valid.
+func Reset() {
+	Default.Metrics.Reset()
+	Default.Tracer.Reset()
+}
+
+// GetCounter returns (registering if needed) a counter on the Default
+// registry. Hot paths call this once at package init and keep the handle.
+func GetCounter(name string) *Counter { return Default.Metrics.Counter(name) }
+
+// GetGauge returns a gauge handle on the Default registry.
+func GetGauge(name string) *Gauge { return Default.Metrics.Gauge(name) }
+
+// Inc increments a Default-registry counter by one.
+func Inc(name string) { Default.Metrics.Counter(name).Inc() }
+
+// Add increments a Default-registry counter by d.
+func Add(name string, d int64) { Default.Metrics.Counter(name).Add(d) }
+
+// SetGauge sets a Default-registry gauge.
+func SetGauge(name string, v float64) { Default.Metrics.Gauge(name).Set(v) }
+
+// Observe records one sample into a Default-registry histogram with the
+// default buckets.
+func Observe(name string, v float64) { Default.Metrics.Histogram(name, nil).Observe(v) }
+
+// Record appends one value to a Default-registry series.
+func Record(name string, v float64) { Default.Metrics.Series(name).Append(v) }
+
+// StartSpan opens a span on the Default tracer, nested under the currently
+// open span. Close it with Span.End (typically deferred).
+func StartSpan(name string) *Span { return Default.Tracer.Start(name) }

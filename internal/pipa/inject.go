@@ -4,7 +4,13 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/workload"
+)
+
+var (
+	injectAttempts = obs.GetCounter("pipa_inject_attempts_total")
+	injectAccepted = obs.GetCounter("pipa_inject_accepted_total")
 )
 
 // Segments partitions the estimated preference ranking into top-ranked,
@@ -55,6 +61,7 @@ func (st *StressTester) Segments(pref *Preference) (top, mid, low []string) {
 // the advisor's best columns and promotes mid-ranked ones, trapping it in a
 // local optimum (§5).
 func (st *StressTester) Inject(pref *Preference) *workload.Workload {
+	defer obs.StartSpan("pipa.inject").End()
 	rng := st.rng(2)
 	top, mid, _ := st.Segments(pref)
 	// Restrict the sampling pool to columns the probe actually observed
@@ -84,6 +91,7 @@ func (st *StressTester) Inject(pref *Preference) *workload.Workload {
 	reserve := &workload.Workload{} // mid-targeted queries that failed the filter
 	maxAttempts := st.Cfg.Na * 12
 	for attempt := 0; tw.Len() < st.Cfg.Na && attempt < maxAttempts; attempt++ {
+		injectAttempts.Inc()
 		cs := sampleUniform(mid, st.Cfg.NumCols, rng)
 		q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng)
 		if err != nil || q == nil {
@@ -96,6 +104,7 @@ func (st *StressTester) Inject(pref *Preference) *workload.Workload {
 			midIdx = append(midIdx, cost.NewIndex(c))
 		}
 		if st.WhatIf.QueryCost(q, midIdx) < st.WhatIf.QueryCost(q, topIdx) {
+			injectAccepted.Inc()
 			tw.Add(q, 1)
 		} else {
 			reserve.Add(q, 1)
@@ -109,6 +118,7 @@ func (st *StressTester) Inject(pref *Preference) *workload.Workload {
 	// Last resort (tiny probing budgets can leave an unusable mid pool):
 	// single-column generation over the mid segment.
 	for attempt := 0; tw.Len() < st.Cfg.Na && attempt < st.Cfg.Na*4; attempt++ {
+		injectAttempts.Inc()
 		cs := sampleUniform(mid, 1, rng)
 		if q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng); err == nil && q != nil {
 			tw.Add(q, 1)

@@ -1,12 +1,16 @@
 package pipa
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+var probeEpochs = obs.GetCounter("pipa_probe_epochs_total")
 
 // Probe implements Algorithm 1: it estimates the opaque-box advisor's
 // indexing preference by iteratively submitting generated probing workloads,
@@ -16,6 +20,7 @@ import (
 // columns that persistently yield nothing are both sampled less, steering
 // the budget toward informative probes.
 func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
+	defer obs.StartSpan("pipa.probe").End()
 	rng := st.rng(1)
 	cols := st.Schema.IndexableColumnNames()
 	L := len(cols)
@@ -35,6 +40,8 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 	pref := &Preference{K: make(map[string]float64, L)}
 
 	for p := 0; p < st.Cfg.P; p++ {
+		epoch := obs.StartSpan("probe.epoch")
+		probeEpochs.Inc()
 		// Build the probing workload PW_p (Alg. 1 lines 3-6).
 		pw := &workload.Workload{}
 		probedCols := make(map[int]bool)
@@ -53,6 +60,7 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 			}
 		}
 		if pw.Len() == 0 {
+			epoch.End()
 			break
 		}
 
@@ -95,14 +103,17 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 		if total <= 0 {
 			// Everything pruned: probing has converged; stop early.
 			pref.EpochsRun = p + 1
+			epoch.End()
 			break
 		}
 		for i := range mu {
 			mu[i] /= total
 		}
+		recordMuEntropy(mu)
 
 		pref.EpochsRun = p + 1
 		pref.SegmentsByEpoch = append(pref.SegmentsByEpoch, st.segmentSnapshot(cols, kSum, rounds))
+		epoch.End()
 	}
 
 	// Final ranking by K = (1/P) Σ θ̂·R̂ (ties broken by column order for
@@ -124,6 +135,20 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 		pref.K[cols[o]] = kSum[o] / rounds
 	}
 	return pref
+}
+
+// recordMuEntropy exports the Shannon entropy of the µ sampling distribution
+// after each epoch's update: a falling entropy means the probe is homing in
+// on a small set of preferred columns (the Alg. 1 convergence signal).
+func recordMuEntropy(mu []float64) {
+	h := 0.0
+	for _, v := range mu {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	obs.SetGauge("pipa_probe_mu_entropy", h)
+	obs.Record("pipa_probe_mu_entropy", h)
 }
 
 // segmentSnapshot computes the (top, mid, low) membership under the current

@@ -3,6 +3,7 @@ package pipa
 import (
 	"repro/internal/advisor"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -29,24 +30,34 @@ type Result struct {
 // stress-test copies or retrain sequences). StressTest mutates the advisor
 // (it retrains it) — run order matters.
 func (st *StressTester) StressTest(ia advisor.Advisor, inj Injector, w *workload.Workload, injSize int) Result {
+	defer obs.StartSpan("pipa.stress").End()
 	res := Result{Injector: inj.Name(), Advisor: ia.Name(), InjectionSize: injSize}
 
+	span := obs.StartSpan("recommend:baseline")
 	base := ia.Recommend(w)
+	span.End()
 	res.BaselineIndexes = indexKeys(base)
 	res.BaselineCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, base)
 
+	span = obs.StartSpan("inject")
 	tw := inj.BuildInjection(ia, injSize)
+	span.End()
 	res.InjectionSize = tw.Len()
 
+	span = obs.StartSpan("retrain")
 	ia.Retrain(w.Merge(tw))
+	span.End()
 
+	span = obs.StartSpan("recommend:poisoned")
 	poisoned := ia.Recommend(w)
+	span.End()
 	res.PoisonedIndexes = indexKeys(poisoned)
 	res.PoisonedCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, poisoned)
 
 	if res.BaselineCost > 0 {
 		res.AD = (res.PoisonedCost - res.BaselineCost) / res.BaselineCost
 	}
+	obs.Record(obs.Name("pipa_stress_ad", "advisor", ia.Name(), "injector", inj.Name()), res.AD)
 	return res
 }
 

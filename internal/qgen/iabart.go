@@ -8,7 +8,18 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/sql"
+)
+
+// Generation telemetry: attempts counts verification-loop iterations,
+// accepted counts queries that passed the what-if check on the requested
+// columns, failures counts Generate calls that returned an error. The
+// acceptance rate attempts/accepted is the §3 IAC proxy the run report shows.
+var (
+	qgenAttempts = obs.GetCounter("qgen_generate_attempts_total")
+	qgenAccepted = obs.GetCounter("qgen_generate_accepted_total")
+	qgenFailures = obs.GetCounter("qgen_generate_failures_total")
 )
 
 // Options configure IABART. The two flags correspond to the progressive
@@ -96,6 +107,7 @@ func (g *IABART) GenerateSQL(cols []string, rewardTarget float64, rng *rand.Rand
 func (g *IABART) Generate(cols []string, rewardTarget float64, rng *rand.Rand) (*sql.Query, error) {
 	tables, tableCols := g.usableColumns(cols)
 	if len(tables) == 0 {
+		qgenFailures.Inc()
 		return nil, fmt.Errorf("qgen: no usable target columns in %v", cols)
 	}
 
@@ -109,6 +121,7 @@ func (g *IABART) Generate(cols []string, rewardTarget float64, rng *rand.Rand) (
 	var best *sql.Query
 	bestDiff := math.Inf(1)
 	for attempt := 0; attempt < g.Opts.MaxAttempts; attempt++ {
+		qgenAttempts.Inc()
 		q := g.compose(tables, tableCols, sel, secSel, rng)
 		if err := sql.Resolve(q, g.FSM.Schema); err != nil {
 			// compose only emits schema-valid references.
@@ -118,6 +131,7 @@ func (g *IABART) Generate(cols []string, rewardTarget float64, rng *rand.Rand) (
 		if ok && colSet[opt] {
 			if !g.Opts.UseLM {
 				// Without Task 1 there is no reward tuning: first hit wins.
+				qgenAccepted.Inc()
 				return q, nil
 			}
 			diff := math.Abs(reward - rewardTarget)
@@ -125,6 +139,7 @@ func (g *IABART) Generate(cols []string, rewardTarget float64, rng *rand.Rand) (
 				best, bestDiff = q, diff
 			}
 			if diff < 0.03 {
+				qgenAccepted.Inc()
 				return q, nil
 			}
 			// Tune: smaller selectivity ⇒ larger index benefit.
@@ -143,8 +158,10 @@ func (g *IABART) Generate(cols []string, rewardTarget float64, rng *rand.Rand) (
 		}
 	}
 	if best != nil {
+		qgenAccepted.Inc()
 		return best, nil
 	}
+	qgenFailures.Inc()
 	return nil, fmt.Errorf("qgen: verification failed for columns %v", cols)
 }
 
