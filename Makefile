@@ -1,0 +1,35 @@
+# Development entry points. CI runs the same steps (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet
+
+all: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the macro benchmarks once each (-benchtime 1x: these are
+# whole-experiment wall-clock probes, one op IS the experiment) and the
+# what-if cache micro benchmarks at a fixed iteration count (one op is a few
+# µs, so 1x would only measure harness overhead), and records both in
+# BENCH_pr2.json: ns/op, whatif-calls/op and hit-rate per benchmark.
+BENCH_PATTERN ?= MainResult|Fig|Table
+BENCH_OUT ?= BENCH_pr2.json
+
+bench:
+	{ $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count 1 . && \
+	  $(GO) test -run '^$$' -bench 'WhatIfCached' -benchtime 20000x -count 1 . ; } \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)

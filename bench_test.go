@@ -55,6 +55,30 @@ func BenchmarkFig7MainResult(b *testing.B) {
 	}
 }
 
+// benchMainResult runs the Fig. 7 driver over two advisors at a fixed pool
+// width; the Serial/Parallel pair below measures the experiment-runner
+// speedup (results are byte-identical across widths, only wall clock moves).
+func benchMainResult(b *testing.B, workers int) {
+	b.Helper()
+	saved := tinySetup.Workers
+	tinySetup.Workers = workers
+	defer func() { tinySetup.Workers = saved }()
+	calls0, hits0 := tinySetup.WhatIf.Stats()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMainResult(tinySetup, []string{"DQN-b", "DRLindex-b"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	calls, hits := tinySetup.WhatIf.Stats()
+	b.ReportMetric(float64(calls-calls0)/float64(b.N), "whatif-calls/op")
+	if calls > calls0 {
+		b.ReportMetric(float64(hits-hits0)/float64(calls-calls0), "hit-rate")
+	}
+}
+
+func BenchmarkMainResultSerial(b *testing.B)   { benchMainResult(b, 1) }
+func BenchmarkMainResultParallel(b *testing.B) { benchMainResult(b, 0) }
+
 // BenchmarkTable1RD regenerates the Table 1 RD rows (trial-based advisor).
 func BenchmarkTable1RD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -159,6 +183,47 @@ func BenchmarkWhatIfCached(b *testing.B) {
 	b.StopTimer()
 	st := w.CacheStats()
 	b.ReportMetric(st.HitRate(), "hit-rate")
+}
+
+// BenchmarkWhatIfCachedParallel hammers the sharded cache from every CPU over
+// a handful of hot (query, index set) keys — the access pattern concurrent
+// experiment cells produce. The serial BenchmarkWhatIfCached above is the
+// single-goroutine reference; scaling between the two is the shard win.
+func BenchmarkWhatIfCachedParallel(b *testing.B) {
+	s, m, q := benchQuery(b)
+	q2, err := sql.ParseResolved(
+		"SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17 AND l_quantity > 30", s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := cost.NewWhatIf(m)
+	type cell struct {
+		q   *sql.Query
+		idx []cost.Index
+	}
+	cells := []cell{
+		{q, nil},
+		{q, []cost.Index{cost.NewIndex("lineitem.l_orderkey")}},
+		{q, []cost.Index{cost.NewIndex("orders.o_orderdate")}},
+		{q, []cost.Index{cost.NewIndex("lineitem.l_orderkey"), cost.NewIndex("orders.o_orderdate")}},
+		{q2, nil},
+		{q2, []cost.Index{cost.NewIndex("lineitem.l_partkey")}},
+	}
+	for _, c := range cells {
+		w.QueryCost(c.q, c.idx) // warm
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c := cells[i%len(cells)]
+			w.QueryCost(c.q, c.idx)
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(w.CacheStats().HitRate(), "hit-rate")
 }
 
 func BenchmarkSQLParse(b *testing.B) {

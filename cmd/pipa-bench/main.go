@@ -42,6 +42,7 @@ func main() {
 	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
 	sf := flag.Float64("sf", 1, "scale factor")
 	full := flag.Bool("full", false, "paper-scale budgets (10 runs, 400 trajectories, P=20)")
+	workers := flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address (e.g. :8080)")
@@ -98,6 +99,7 @@ func main() {
 		scale = experiments.ScaleFull
 	}
 	setup := experiments.NewSetup(*benchmark, *sf, scale)
+	setup.Workers = *workers
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	run := func(id string, f func() (fmt.Stringer, error)) {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/pipa"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	advisorName := flag.String("advisor", "DQN-b", "victim advisor: DQN-b, DQN-m, DRLindex-b, DRLindex-m, DBAbandit-b, DBAbandit-m, SWIRL, Heuristic")
 	injector := flag.String("injector", "PIPA", "injection strategy: TP, FSM, I-R, I-L, P-C, PIPA")
 	runs := flag.Int("runs", 3, "independent runs (fresh workload + training each)")
+	workers := flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	full := flag.Bool("full", false, "use the paper-scale budgets (slow)")
 	verbose := flag.Bool("v", false, "print per-run details")
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
@@ -65,6 +67,7 @@ func main() {
 	}
 	setup := experiments.NewSetup(*benchmark, *sf, scale)
 	setup.Runs = *runs
+	setup.Workers = *workers
 	st := setup.Tester()
 
 	var inj pipa.Injector
@@ -78,15 +81,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	var ads []float64
-	for run := 0; run < *runs; run++ {
+	// Runs are independent (each derives its RNGs from the run index), so
+	// they fan out through a pool and print in run order afterwards.
+	results, err := par.Map(par.New("pipa_runs", *workers), *runs, func(run int) (pipa.Result, error) {
 		w := setup.NormalWorkload(run)
 		ia, err := setup.TrainAdvisor(*advisorName, run, w)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pipa:", err)
-			os.Exit(2)
+			return pipa.Result{}, err
 		}
-		res := st.StressTest(ia, inj, w, setup.PipaCfg.Na)
+		return st.StressTest(ia, inj, w, setup.PipaCfg.Na), nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipa:", err)
+		os.Exit(2)
+	}
+	var ads []float64
+	for run, res := range results {
 		ads = append(ads, res.AD)
 		if *verbose {
 			fmt.Printf("run %d: baseline %v (cost %.0f)\n", run, res.BaselineIndexes, res.BaselineCost)

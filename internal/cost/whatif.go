@@ -4,24 +4,51 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sql"
 )
 
 // Cached handles into the process-wide metrics registry; a single atomic
-// add per event keeps the what-if hot path cheap.
+// add per event keeps the what-if hot path cheap. The entries gauge tracks
+// the level with atomic deltas — it is never recomputed under a lock.
 var (
 	whatifCalls  = obs.GetCounter("cost_whatif_calls_total")
 	whatifHits   = obs.GetCounter("cost_whatif_hits_total")
+	whatifShared = obs.GetCounter("cost_whatif_flight_waits_total")
 	whatifEvicts = obs.GetCounter("cost_whatif_evictions_total")
 	whatifSize   = obs.GetGauge("cost_whatif_entries")
 )
 
+// numShards partitions the cache by key hash so concurrent trials contend on
+// different locks. Power of two; 64 keeps per-shard maps small at ScaleFull
+// while costing ~3KB of empty shards per instance.
+const numShards = 64
+
+// shard is one lock domain of the cache. flight holds the in-progress
+// computations for singleflight miss deduplication: concurrent misses on the
+// same key compute the plan once and share the result.
+type shard struct {
+	mu     sync.Mutex
+	cache  map[string]float64
+	flight map[string]*flightCall
+}
+
+// flightCall is one in-progress model computation; done is closed once val
+// is set.
+type flightCall struct {
+	done chan struct{}
+	val  float64
+}
+
 // WhatIf memoizes what-if optimizer calls. Advisors re-cost the same
 // (query, index set) pairs thousands of times during training; this cache
 // plays the role of the hypothetical-index call layer in the paper's testbed.
-// It is safe for concurrent use.
+// It is safe for concurrent use: the cache is sharded numShards ways by key
+// hash with per-shard locks, keys reuse the query fingerprint cached at
+// resolve time instead of re-rendering the SQL per lookup, and concurrent
+// misses on one key are deduplicated singleflight-style.
 //
 // MaxEntries bounds the cache (0 = unbounded). When full, an arbitrary
 // entry is evicted; eviction only affects recomputation, never values, so
@@ -30,11 +57,15 @@ type WhatIf struct {
 	Model      *Model
 	MaxEntries int
 
-	mu     sync.Mutex
-	cache  map[string]float64
-	calls  int64
-	hits   int64
-	evicts int64
+	shards  [numShards]shard
+	calls   atomic.Int64
+	hits    atomic.Int64
+	evicts  atomic.Int64
+	entries atomic.Int64
+
+	// costFn overrides Model.QueryCost in tests (to count or delay
+	// computations); nil means the real model.
+	costFn func(*sql.Query, []Index) float64
 }
 
 // CacheStats is a point-in-time view of the what-if cache.
@@ -56,47 +87,115 @@ func (s CacheStats) HitRate() float64 {
 
 // NewWhatIf wraps a model with an unbounded cache.
 func NewWhatIf(m *Model) *WhatIf {
-	return &WhatIf{Model: m, cache: make(map[string]float64)}
+	w := &WhatIf{Model: m}
+	for i := range w.shards {
+		w.shards[i].cache = make(map[string]float64)
+		w.shards[i].flight = make(map[string]*flightCall)
+	}
+	return w
 }
 
 // QueryCost returns the memoized cost of q under the index set.
 func (w *WhatIf) QueryCost(q *sql.Query, indexes []Index) float64 {
-	key := cacheKey(q, indexes)
-	w.mu.Lock()
-	w.calls++
+	return w.queryCost(q, indexes, indexesKey(indexes))
+}
+
+// queryCost is QueryCost with the index part of the key precomputed, so
+// workload-level callers canonicalize the index set once, not per query.
+func (w *WhatIf) queryCost(q *sql.Query, indexes []Index, idxKey string) float64 {
+	key := q.Fingerprint()
+	if idxKey != "" {
+		key += "|" + idxKey
+	}
+	sh := &w.shards[shardOf(key)]
+
+	w.calls.Add(1)
 	whatifCalls.Inc()
-	if c, ok := w.cache[key]; ok {
-		w.hits++
+	sh.mu.Lock()
+	if c, ok := sh.cache[key]; ok {
+		sh.mu.Unlock()
+		w.hits.Add(1)
 		whatifHits.Inc()
-		w.mu.Unlock()
 		return c
 	}
-	w.mu.Unlock()
-	c := w.Model.QueryCost(q, indexes)
-	w.mu.Lock()
-	if w.MaxEntries > 0 && len(w.cache) >= w.MaxEntries {
-		for k := range w.cache { // arbitrary victim; see type comment
-			delete(w.cache, k)
-			w.evicts++
-			whatifEvicts.Inc()
-			break
+	if fl, ok := sh.flight[key]; ok {
+		// Someone is already computing this plan: wait and share.
+		sh.mu.Unlock()
+		<-fl.done
+		w.hits.Add(1)
+		whatifHits.Inc()
+		whatifShared.Inc()
+		return fl.val
+	}
+	fl := &flightCall{done: make(chan struct{})}
+	sh.flight[key] = fl
+	sh.mu.Unlock()
+
+	if w.costFn != nil {
+		fl.val = w.costFn(q, indexes)
+	} else {
+		fl.val = w.Model.QueryCost(q, indexes)
+	}
+
+	// Respect the bound before inserting. Never holds two shard locks at
+	// once, so eviction cannot deadlock with concurrent inserts.
+	if w.MaxEntries > 0 {
+		for w.entries.Load() >= int64(w.MaxEntries) {
+			if !w.evictOne(sh) {
+				break
+			}
 		}
 	}
-	w.cache[key] = c
-	whatifSize.Set(float64(len(w.cache)))
-	w.mu.Unlock()
-	return c
+
+	sh.mu.Lock()
+	delete(sh.flight, key)
+	if _, ok := sh.cache[key]; !ok {
+		sh.cache[key] = fl.val
+		w.entries.Add(1)
+		whatifSize.Add(1)
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.val
+}
+
+// evictOne removes one arbitrary entry, preferring the given shard, and
+// reports whether anything was evicted. Locks one shard at a time.
+func (w *WhatIf) evictOne(prefer *shard) bool {
+	victim := func(sh *shard) bool {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for k := range sh.cache { // arbitrary victim; see type comment
+			delete(sh.cache, k)
+			w.entries.Add(-1)
+			w.evicts.Add(1)
+			whatifEvicts.Inc()
+			whatifSize.Add(-1)
+			return true
+		}
+		return false
+	}
+	if victim(prefer) {
+		return true
+	}
+	for i := range w.shards {
+		if sh := &w.shards[i]; sh != prefer && victim(sh) {
+			return true
+		}
+	}
+	return false
 }
 
 // WorkloadCost sums frequency-weighted memoized query costs.
 func (w *WhatIf) WorkloadCost(queries []*sql.Query, freqs []float64, indexes []Index) float64 {
+	idxKey := indexesKey(indexes)
 	total := 0.0
 	for i, q := range queries {
 		f := 1.0
 		if freqs != nil {
 			f = freqs[i]
 		}
-		total += f * w.QueryCost(q, indexes)
+		total += f * w.queryCost(q, indexes, idxKey)
 	}
 	return total
 }
@@ -113,29 +212,48 @@ func (w *WhatIf) Reduction(queries []*sql.Query, freqs []float64, indexes []Inde
 
 // Stats reports total calls and cache hits.
 func (w *WhatIf) Stats() (calls, hits int64) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.calls, w.hits
+	return w.calls.Load(), w.hits.Load()
 }
 
 // CacheStats reports the full cache counters.
 func (w *WhatIf) CacheStats() CacheStats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	calls, hits := w.calls.Load(), w.hits.Load()
 	return CacheStats{
-		Calls:     w.calls,
-		Hits:      w.hits,
-		Misses:    w.calls - w.hits,
-		Evictions: w.evicts,
-		Entries:   len(w.cache),
+		Calls:     calls,
+		Hits:      hits,
+		Misses:    calls - hits,
+		Evictions: w.evicts.Load(),
+		Entries:   int(w.entries.Load()),
 	}
 }
 
-func cacheKey(q *sql.Query, indexes []Index) string {
+// indexesKey canonicalizes an index list (sorted member keys), the
+// IndexSet.Key form. Empty for no indexes.
+func indexesKey(indexes []Index) string {
+	switch len(indexes) {
+	case 0:
+		return ""
+	case 1:
+		return indexes[0].Key()
+	}
 	keys := make([]string, len(indexes))
 	for i, ix := range indexes {
 		keys[i] = ix.Key()
 	}
 	sort.Strings(keys)
-	return q.String() + "|" + strings.Join(keys, ";")
+	return strings.Join(keys, ";")
+}
+
+// shardOf hashes a key to its shard (FNV-1a, masked).
+func shardOf(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h & (numShards - 1)
 }

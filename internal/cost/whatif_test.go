@@ -2,6 +2,7 @@ package cost
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/catalog"
@@ -97,6 +98,100 @@ func TestWhatIfBoundedConcurrent(t *testing.T) {
 	wg.Wait()
 	if calls, _ := w.Stats(); calls != 1600 {
 		t.Fatalf("calls = %d, want 1600", calls)
+	}
+}
+
+// TestWhatIfConcurrentMatchesSerialOracle drives 16 goroutines over a mixed
+// key population (several queries × several index sets) and checks every
+// returned cost against a serial, uncached oracle: sharding and singleflight
+// must never change a value.
+func TestWhatIfConcurrentMatchesSerialOracle(t *testing.T) {
+	s := catalog.TPCH(1)
+	w := NewWhatIf(NewModel(s))
+	queries := []*sql.Query{
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM orders WHERE o_custkey < 500"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem, orders WHERE o_orderkey = l_orderkey AND l_quantity > 30"),
+		whatifQuery(t, s, "SELECT COUNT(*) FROM part WHERE p_size = 4"),
+	}
+	idxSets := [][]Index{
+		nil,
+		{NewIndex("lineitem.l_partkey")},
+		{NewIndex("orders.o_custkey")},
+		{NewIndex("lineitem.l_orderkey"), NewIndex("orders.o_orderkey")},
+	}
+	oracle := make([]float64, len(queries)*len(idxSets))
+	for qi, q := range queries {
+		for ii, idx := range idxSets {
+			oracle[qi*len(idxSets)+ii] = w.Model.QueryCost(q, idx)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (g*7 + i) % len(oracle)
+				q, idx := queries[k/len(idxSets)], idxSets[k%len(idxSets)]
+				if got := w.QueryCost(q, idx); got != oracle[k] {
+					t.Errorf("concurrent cost for key %d = %v, want %v", k, got, oracle[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.CacheStats()
+	if want := int64(16 * 300); st.Calls != want {
+		t.Fatalf("calls = %d, want %d", st.Calls, want)
+	}
+	if st.Entries != len(oracle) {
+		t.Fatalf("entries = %d, want %d distinct keys", st.Entries, len(oracle))
+	}
+}
+
+// TestWhatIfSingleflight checks miss deduplication: when many goroutines miss
+// on the same cold key at once, the underlying model computes it once and
+// everyone shares the result.
+func TestWhatIfSingleflight(t *testing.T) {
+	s := catalog.TPCH(1)
+	w := NewWhatIf(NewModel(s))
+	q := whatifQuery(t, s, "SELECT COUNT(*) FROM lineitem WHERE l_partkey = 17")
+
+	const goroutines = 12
+	var computations atomic.Int64
+	gate := make(chan struct{})
+	w.costFn = func(q *sql.Query, idx []Index) float64 {
+		computations.Add(1)
+		<-gate // hold the first computation until every goroutine has arrived
+		return 42.5
+	}
+
+	var started, wg sync.WaitGroup
+	started.Add(goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			if got := w.QueryCost(q, nil); got != 42.5 {
+				t.Errorf("cost = %v, want 42.5", got)
+			}
+		}()
+	}
+	started.Wait() // all goroutines running; at most one is inside costFn
+	close(gate)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Fatalf("model computed %d times, want 1 (singleflight)", n)
+	}
+	// Every other caller — whether it shared the in-flight computation or
+	// arrived after the insert — counts as a hit; exactly one miss total.
+	st := w.CacheStats()
+	if st.Calls != goroutines || st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want %d calls and exactly 1 miss", st, goroutines)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/advisor/registry"
+	"repro/internal/par"
 	"repro/internal/pipa"
 )
 
@@ -39,28 +40,35 @@ func RunCaseStudies(s *Setup) (*CaseStudies, error) {
 	out := &CaseStudies{Setup: s.Name}
 	w := s.NormalWorkload(0)
 
-	for _, name := range []string{"DQN-b", "DBAbandit-b", "DRLindex-b"} {
-		for _, injName := range []string{"PIPA", "I-L"} {
-			var rewards []float64
-			cfg := s.AdvCfg
-			cfg.Seed = s.Seed * 31
-			cfg.Trace = func(r float64) { rewards = append(rewards, r) }
-			ia, err := registry.New(name, s.Env, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ia.Train(w)
-			retrainStart := len(rewards)
-			inj := injectorByName(st, injName)
-			tw := inj.BuildInjection(ia, s.PipaCfg.Na)
-			ia.Retrain(w.Merge(tw))
-			out.Curves = append(out.Curves, Curve{
-				Label:        name + " / " + injName,
-				Rewards:      rewards,
-				RetrainStart: retrainStart,
-			})
+	// The six (advisor, injector) traces are independent — each trains its
+	// own advisor with a per-task Trace closure — so they fan out together.
+	advisors := []string{"DQN-b", "DBAbandit-b", "DRLindex-b"}
+	injNames := []string{"PIPA", "I-L"}
+	curves, err := par.Map(s.pool("casestudies"), len(advisors)*len(injNames), func(i int) (Curve, error) {
+		name, injName := advisors[i/len(injNames)], injNames[i%len(injNames)]
+		var rewards []float64
+		cfg := s.AdvCfg
+		cfg.Seed = s.Seed * 31
+		cfg.Trace = func(r float64) { rewards = append(rewards, r) }
+		ia, err := registry.New(name, s.Env, cfg)
+		if err != nil {
+			return Curve{}, err
 		}
+		ia.Train(w)
+		retrainStart := len(rewards)
+		inj := injectorByName(st, injName)
+		tw := inj.BuildInjection(ia, s.PipaCfg.Na)
+		ia.Retrain(w.Merge(tw))
+		return Curve{
+			Label:        name + " / " + injName,
+			Rewards:      rewards,
+			RetrainStart: retrainStart,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Curves = append(out.Curves, curves...)
 
 	// Fig. 8(d): SWIRL poisoned, then re-retrained on the normal workload.
 	swirl, err := s.TrainAdvisor("SWIRL", 0, w)

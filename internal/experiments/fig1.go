@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/pipa"
 )
 
@@ -31,31 +32,42 @@ func RunMotivation(s *Setup) (*MotivationResult, error) {
 	// ω ≈ 1%: frequencies of the normal workload average ~5.5, so a handful
 	// of unit-frequency toxic queries is a ~1-3% share of the training mass.
 	res := &MotivationResult{Setup: s.Name, InjectionSize: na}
-	var randADs, toxicADs []float64
-	baseRed := 0.0
-	for run := 0; run < s.Runs; run++ {
+	// One independent task per run, reduced in run order afterwards.
+	type motiveRun struct{ randAD, toxicAD, baseRed float64 }
+	runs, err := par.Map(s.pool("motivation"), s.Runs, func(run int) (motiveRun, error) {
+		var m motiveRun
 		w := s.NormalWorkload(run)
 		base, err := s.TrainAdvisor("DQN-b", run, w)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
 		b0 := s.WhatIf.WorkloadCost(w.Queries, w.Freqs, nil)
 		bc := s.WhatIf.WorkloadCost(w.Queries, w.Freqs, base.Recommend(w))
-		baseRed += 1 - bc/b0
+		m.baseRed = 1 - bc/b0
 
 		randVictim, err := s.cloneOrRetrain(base, "DQN-b", run, w)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
-		r1 := st.StressTest(randVictim, pipa.FSMInjector{Tester: st}, w, na)
-		randADs = append(randADs, r1.AD)
+		m.randAD = st.StressTest(randVictim, pipa.FSMInjector{Tester: st}, w, na).AD
 
 		toxicVictim, err := s.cloneOrRetrain(base, "DQN-b", run, w)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
-		r2 := st.StressTest(toxicVictim, pipa.PIPAInjector{Tester: st}, w, na)
-		toxicADs = append(toxicADs, r2.AD)
+		m.toxicAD = st.StressTest(toxicVictim, pipa.PIPAInjector{Tester: st}, w, na).AD
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	randADs := make([]float64, 0, s.Runs)
+	toxicADs := make([]float64, 0, s.Runs)
+	baseRed := 0.0
+	for _, m := range runs {
+		randADs = append(randADs, m.randAD)
+		toxicADs = append(toxicADs, m.toxicAD)
+		baseRed += m.baseRed
 	}
 	totalFreq := 0.0
 	w0 := s.NormalWorkload(0)

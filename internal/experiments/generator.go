@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/qgen"
 )
 
@@ -30,12 +31,20 @@ func RunGeneratorQuality(s *Setup, n int) (*GeneratorResult, error) {
 	f := qgen.NewFSM(s.Schema)
 	opts := s.Gen.Opts
 
-	abl := func(useLM, cond bool) *qgen.IABART {
-		o := opts
-		o.UseLM, o.IndexConditioning = useLM, cond
-		return qgen.TrainIABART(f, s.WhatIf, nil, o, s.Seed+11)
+	// The four IABART ablations train independently (one corpus each, seeded
+	// identically to the serial path), so they fan out first.
+	ablCfg := []struct{ useLM, cond bool }{
+		{true, true}, {false, false}, {false, true}, {true, false},
 	}
-	full := abl(true, true)
+	ablGens, err := par.Map(s.pool("generator_train"), len(ablCfg), func(i int) (*qgen.IABART, error) {
+		o := opts
+		o.UseLM, o.IndexConditioning = ablCfg[i].useLM, ablCfg[i].cond
+		return qgen.TrainIABART(f, s.WhatIf, nil, o, s.Seed+11), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	full := ablGens[0]
 
 	gens := []qgen.Generator{
 		qgen.ST{Schema: s.Schema},
@@ -43,16 +52,21 @@ func RunGeneratorQuality(s *Setup, n int) (*GeneratorResult, error) {
 		qgen.Noisy{Inner: full, ErrRate: 0.18, Label: "GPT-3.5-sim"},
 		qgen.Noisy{Inner: full, ErrRate: 0.08, Label: "GPT-4-sim"},
 		qgen.Noisy{Inner: full, ErrRate: 0.04, Label: "GPT-4-fewshot-sim"},
-		abl(false, false),
-		abl(false, true),
-		abl(true, false),
+		ablGens[1],
+		ablGens[2],
+		ablGens[3],
 		full,
 	}
-	for i, g := range gens {
+	// Each row evaluates with its own (Seed, i)-derived RNG — independent.
+	rows, err := par.Map(s.pool("generator_eval"), len(gens), func(i int) (GeneratorRow, error) {
 		rng := rand.New(rand.NewSource(s.Seed*77 + int64(i)))
-		m := qgen.EvaluateGenerator(g, s.Schema, s.WhatIf, nil, n, rng)
-		res.Rows = append(res.Rows, GeneratorRow{Method: g.Name(), GenMetrics: m})
+		m := qgen.EvaluateGenerator(gens[i], s.Schema, s.WhatIf, nil, n, rng)
+		return GeneratorRow{Method: gens[i].Name(), GenMetrics: m}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/pipa"
 )
 
@@ -28,6 +29,12 @@ type MainResult struct {
 // every injector, train on a fresh normal workload, poison, retrain, and
 // measure AD; RD compares PIPA against the random FSM injection run-by-run
 // (Def. 2.5).
+//
+// The (run, advisor) cells are independent — each derives its RNGs from
+// (Seed, run) and owns its advisor instances — so they fan out through the
+// setup's worker pool; the injector loop inside a cell stays serial because
+// every injector stress-tests a clone of the same base advisor. Results are
+// assembled run-major afterwards, byte-identical to the serial order.
 func RunMainResult(s *Setup, advisors []string) (*MainResult, error) {
 	st := s.Tester()
 	injectors := pipa.Injectors(st)
@@ -40,21 +47,35 @@ func RunMainResult(s *Setup, advisors []string) (*MainResult, error) {
 		}
 	}
 
-	for run := 0; run < s.Runs; run++ {
+	// One task per (run, advisor): train the base advisor once, then
+	// stress-test a fresh clone against each injector. The StressTester is
+	// stateless (all randomness derives from Cfg.Seed), so tasks share it.
+	nAdv := len(advisors)
+	rows, err := par.Map(s.pool("mainresult"), s.Runs*nAdv, func(i int) ([]float64, error) {
+		run, name := i/nAdv, advisors[i%nAdv]
 		w := s.NormalWorkload(run)
-		for _, name := range advisors {
-			base, err := s.TrainAdvisor(name, run, w)
+		base, err := s.TrainAdvisor(name, run, w)
+		if err != nil {
+			return nil, err
+		}
+		ads := make([]float64, len(injectors))
+		for k, inj := range injectors {
+			victim, err := s.cloneOrRetrain(base, name, run, w)
 			if err != nil {
 				return nil, err
 			}
-			for _, inj := range injectors {
-				victim, err := s.cloneOrRetrain(base, name, run, w)
-				if err != nil {
-					return nil, err
-				}
-				r := st.StressTest(victim, inj, w, s.PipaCfg.Na)
+			ads[k] = st.StressTest(victim, inj, w, s.PipaCfg.Na).AD
+		}
+		return ads, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for run := 0; run < s.Runs; run++ {
+		for ai, name := range advisors {
+			for k, inj := range injectors {
 				cell := cells[name+"|"+inj.Name()]
-				cell.ADs = append(cell.ADs, r.AD)
+				cell.ADs = append(cell.ADs, rows[run*nAdv+ai][k])
 			}
 		}
 	}

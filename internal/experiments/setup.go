@@ -15,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/pipa"
 	"repro/internal/qgen"
 	"repro/internal/workload"
@@ -47,6 +48,14 @@ type Setup struct {
 	Runs      int
 	WorkloadN int
 	Seed      int64
+
+	// Workers caps the experiment-level parallelism of every driver: each
+	// independent (run, advisor, injector) or sweep-point cell fans out
+	// through an internal/par pool of this width. 0 selects GOMAXPROCS, 1
+	// forces the serial path. Results are byte-identical at any setting —
+	// every cell derives its RNG from (Seed, run, name) and owns its advisor
+	// instances, so only wall-clock changes (DESIGN.md §7).
+	Workers int
 }
 
 // NewSetup prepares a benchmark instance. benchmark is "tpch" or "tpcds";
@@ -111,10 +120,21 @@ func (s *Setup) Tester() *pipa.StressTester {
 	return pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, s.PipaCfg)
 }
 
+// pool builds the worker pool one driver fans its cells through, named so
+// obs attributes throughput and latency per experiment phase.
+func (s *Setup) pool(phase string) *par.Pool { return par.New(phase, s.Workers) }
+
 // NormalWorkload generates the run-th normal workload.
 func (s *Setup) NormalWorkload(run int) *workload.Workload {
+	return s.NormalWorkloadN(run, s.WorkloadN)
+}
+
+// NormalWorkloadN generates the run-th normal workload with an explicit
+// size. It never mutates the Setup, so concurrent sweep cells with different
+// workload sizes stay race-free.
+func (s *Setup) NormalWorkloadN(run, n int) *workload.Workload {
 	rng := rand.New(rand.NewSource(s.Seed*100000 + int64(run)))
-	return workload.GenerateNormal(s.Schema, workload.TemplatesFor(s.Schema), s.WorkloadN, rng)
+	return workload.GenerateNormal(s.Schema, workload.TemplatesFor(s.Schema), n, rng)
 }
 
 // TrainAdvisor constructs and trains the named advisor for one run.

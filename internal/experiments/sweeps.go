@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"repro/internal/workload"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/pipa"
 )
 
@@ -24,43 +24,56 @@ type InjectionSizeResult struct {
 
 // RunInjectionSize reproduces §6.3: the injection workload size is fixed at
 // Na queries while the normal workload size varies so that ω = Na/|W| spans
-// the requested values. RD compares PIPA to FSM at each ω.
+// the requested values. RD compares PIPA to FSM at each ω. Every
+// (ω, advisor, run) cell is independent, so the whole sweep fans out flat
+// through the pool and is reduced per (ω, advisor) afterwards.
 func RunInjectionSize(s *Setup, advisors []string, omegas []float64, na int) (*InjectionSizeResult, error) {
 	st := s.Tester()
 	res := &InjectionSizeResult{Setup: s.Name}
-	for _, omega := range omegas {
-		wSize := int(float64(na) / omega)
+
+	type cellResult struct{ ad, rd float64 }
+	nAdv, nRuns := len(advisors), s.Runs
+	cells, err := par.Map(s.pool("injectionsize"), len(omegas)*nAdv*nRuns, func(i int) (cellResult, error) {
+		oi, rest := i/(nAdv*nRuns), i%(nAdv*nRuns)
+		name, run := advisors[rest/nRuns], rest%nRuns
+		wSize := int(float64(na) / omegas[oi])
 		if wSize < 1 {
 			wSize = 1
 		}
-		for _, name := range advisors {
-			var ads, rds []float64
-			for run := 0; run < s.Runs; run++ {
-				w := workloadOfSize(s, run, wSize)
-				base, err := s.TrainAdvisor(name, run, w)
-				if err != nil {
-					return nil, err
-				}
-				fsmVictim, err := s.cloneOrRetrain(base, name, run, w)
-				if err != nil {
-					return nil, err
-				}
-				fsmRes := st.StressTest(fsmVictim, pipa.FSMInjector{Tester: st}, w, na)
-				pipaVictim, err := s.cloneOrRetrain(base, name, run, w)
-				if err != nil {
-					return nil, err
-				}
-				pipaRes := st.StressTest(pipaVictim, pipa.PIPAInjector{Tester: st}, w, na)
-				ads = append(ads, pipaRes.AD)
-				rds = append(rds, pipa.RD(pipaRes, fsmRes))
-			}
+		var c cellResult
+		w := s.NormalWorkloadN(run, wSize)
+		base, err := s.TrainAdvisor(name, run, w)
+		if err != nil {
+			return c, err
+		}
+		fsmVictim, err := s.cloneOrRetrain(base, name, run, w)
+		if err != nil {
+			return c, err
+		}
+		fsmRes := st.StressTest(fsmVictim, pipa.FSMInjector{Tester: st}, w, na)
+		pipaVictim, err := s.cloneOrRetrain(base, name, run, w)
+		if err != nil {
+			return c, err
+		}
+		pipaRes := st.StressTest(pipaVictim, pipa.PIPAInjector{Tester: st}, w, na)
+		c.ad, c.rd = pipaRes.AD, pipa.RD(pipaRes, fsmRes)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for oi, omega := range omegas {
+		for ai, name := range advisors {
+			ads := make([]float64, nRuns)
 			rd := 0.0
-			for _, x := range rds {
-				rd += x
+			for run := 0; run < nRuns; run++ {
+				c := cells[(oi*nAdv+ai)*nRuns+run]
+				ads[run] = c.ad
+				rd += c.rd
 			}
 			res.Points = append(res.Points, OmegaPoint{
 				Advisor: name, Omega: omega,
-				AD: NewStats(ads), RD: rd / float64(len(rds)),
+				AD: NewStats(ads), RD: rd / float64(nRuns),
 			})
 		}
 	}
@@ -96,47 +109,68 @@ type BoundariesResult struct {
 // then sweep the segment end across fractions of L.
 func RunBoundaries(s *Setup, advisorName string, starts []int, endFracs []float64) (*BoundariesResult, error) {
 	res := &BoundariesResult{Setup: s.Name}
+	// Both sweeps flatten into one fan-out so the pool sees every
+	// (config, run) cell at once.
+	var cells []adCell
 	for _, start := range starts {
 		cfg := s.PipaCfg
 		cfg.MidStart = start
 		cfg.MidEnd = start + 3 // interval of 4 ranks
-		ads, err := adSample(s, advisorName, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.StartSweep = append(res.StartSweep, BoundaryPoint{
-			Label: fmt.Sprintf("start=%d", start), AD: NewStats(ads),
-		})
+		cells = append(cells, adCell{advisor: advisorName, cfg: cfg})
 	}
 	L := s.Schema.NumColumns()
 	for _, f := range endFracs {
 		cfg := s.PipaCfg
 		cfg.MidEnd = int(f * float64(L))
-		ads, err := adSample(s, advisorName, cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, adCell{advisor: advisorName, cfg: cfg})
+	}
+	samples, err := adSamples(s, "boundaries", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, start := range starts {
+		res.StartSweep = append(res.StartSweep, BoundaryPoint{
+			Label: fmt.Sprintf("start=%d", start), AD: NewStats(samples[i]),
+		})
+	}
+	for i, f := range endFracs {
 		res.LengthSweep = append(res.LengthSweep, BoundaryPoint{
-			Label: fmt.Sprintf("q=%.3fL", f), AD: NewStats(ads),
+			Label: fmt.Sprintf("q=%.3fL", f), AD: NewStats(samples[len(starts)+i]),
 		})
 	}
 	return res, nil
 }
 
-// adSample runs PIPA stress tests under a specific PIPA config.
-func adSample(s *Setup, advisorName string, cfg pipa.Config) ([]float64, error) {
-	st := pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, cfg)
-	var ads []float64
-	for run := 0; run < s.Runs; run++ {
+// adCell is one PIPA stress-test configuration of a parameter sweep.
+type adCell struct {
+	advisor string
+	cfg     pipa.Config
+}
+
+// adSamples collects the per-run AD sample for every sweep cell. The
+// (cell, run) grid fans out flat through the pool — each task trains its own
+// advisor from (Seed, run) and stress-tests under the cell's PIPA config —
+// and the flat results fold back into one sample slice per cell, in order.
+func adSamples(s *Setup, phase string, cells []adCell) ([][]float64, error) {
+	nRuns := s.Runs
+	flat, err := par.Map(s.pool(phase), len(cells)*nRuns, func(i int) (float64, error) {
+		cell, run := cells[i/nRuns], i%nRuns
+		st := pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, cell.cfg)
 		w := s.NormalWorkload(run)
-		ia, err := s.TrainAdvisor(advisorName, run, w)
+		ia, err := s.TrainAdvisor(cell.advisor, run, w)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		r := st.StressTest(ia, pipa.PIPAInjector{Tester: st}, w, cfg.Na)
-		ads = append(ads, r.AD)
+		return st.StressTest(ia, pipa.PIPAInjector{Tester: st}, w, cell.cfg.Na).AD, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ads, nil
+	out := make([][]float64, len(cells))
+	for ci := range cells {
+		out[ci] = flat[ci*nRuns : (ci+1)*nRuns : (ci+1)*nRuns]
+	}
+	return out, nil
 }
 
 // String renders both sweeps.
@@ -169,20 +203,24 @@ type ProbingEpochsResult struct {
 // advisor.
 func RunProbingEpochs(s *Setup, advisors []string, ps []int) (*ProbingEpochsResult, error) {
 	res := &ProbingEpochsResult{Setup: s.Name}
+	var cells []adCell
 	for _, name := range advisors {
 		for _, p := range ps {
 			cfg := s.PipaCfg
 			cfg.P = p
-			ads, err := adSample(s, name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, struct {
-				Advisor string
-				P       int
-				AD      Stats
-			}{name, p, NewStats(ads)})
+			cells = append(cells, adCell{advisor: name, cfg: cfg})
 		}
+	}
+	samples, err := adSamples(s, "probingepochs", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		res.Points = append(res.Points, struct {
+			Advisor string
+			P       int
+			AD      Stats
+		}{cell.advisor, cell.cfg.P, NewStats(samples[i])})
 	}
 	return res, nil
 }
@@ -216,21 +254,28 @@ type ParamResult struct {
 // probing rounds against ranking error.
 func RunProbingParams(s *Setup, advisorName string, alphas, betas []float64) (*ParamResult, error) {
 	res := &ParamResult{Setup: s.Name}
+	var cells []adCell
 	for _, a := range alphas {
 		cfg := s.PipaCfg
 		cfg.Alpha = a
-		ads, err := adSample(s, advisorName, cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, adCell{advisor: advisorName, cfg: cfg})
+	}
+	samples, err := adSamples(s, "probingparams", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range alphas {
 		res.AlphaSweep = append(res.AlphaSweep, struct {
 			Alpha float64
 			AD    Stats
-		}{a, NewStats(ads)})
+		}{a, NewStats(samples[i])})
 	}
 
 	// β sweep: probe with β = 0 as the reference ranking, then compare
-	// segment membership and convergence speed at each β.
+	// segment membership and convergence speed at each β. This sweep stays
+	// serial on purpose: every β probes the same advisor instance, and
+	// Recommend advances trial-based advisors' internal state, so the probe
+	// order is part of the experiment's definition.
 	w := s.NormalWorkload(0)
 	ia, err := s.TrainAdvisor(advisorName, 0, w)
 	if err != nil {
@@ -319,12 +364,4 @@ func (r *ParamResult) String() string {
 		fmt.Fprintf(&b, "  beta=%-8.4f converge@%.0f error=%.3f\n", p.Beta, p.ConvergeEpoch, p.ErrorRate)
 	}
 	return b.String()
-}
-
-// workloadOfSize generates a normal workload with an explicit size.
-func workloadOfSize(s *Setup, run, n int) *workload.Workload {
-	saved := s.WorkloadN
-	s.WorkloadN = n
-	defer func() { s.WorkloadN = saved }()
-	return s.NormalWorkload(run)
 }

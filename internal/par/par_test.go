@@ -1,0 +1,143 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		p := New("test_order", workers)
+		got, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLo, errHi := errors.New("lo"), errors.New("hi")
+	p := New("test_err", 8)
+	// Run repeatedly: with 8 workers the higher-index task often finishes
+	// first, which must not change which error is reported.
+	for round := 0; round < 20; round++ {
+		_, err := Map(p, 50, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLo
+			case 40:
+				return 0, errHi
+			}
+			return i, nil
+		})
+		if err != errLo {
+			t.Fatalf("round %d: err = %v, want lowest-index error %v", round, err, errLo)
+		}
+	}
+}
+
+func TestMapRunsAllTasksDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	p := New("test_all", 4)
+	_, err := Map(p, 32, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 tasks", ran.Load())
+	}
+}
+
+func TestMapBoundsInflight(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	p := New("test_bound", workers)
+	_, err := Map(p, 64, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("peak in-flight = %d, want <= %d", pk, workers)
+	}
+}
+
+func TestMapSerialRunsInSubmissionOrder(t *testing.T) {
+	// workers == 1 must execute inline, strictly in index order.
+	var order []int
+	p := New("test_serial", 1)
+	_, err := Map(p, 10, func(i int) (int, error) {
+		order = append(order, i) // safe: inline on one goroutine
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order %v", order)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	p := New("test_empty", 4)
+	got, err := Map(p, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var sum atomic.Int64
+	p := New("test_do", 4)
+	if err := Do(p, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := Do(p, 4, func(i int) error { return fmt.Errorf("task %d", i) }); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	if w := New("test_defaults", 0).Workers(); w != DefaultWorkers() {
+		t.Errorf("Workers() = %d, want DefaultWorkers() = %d", w, DefaultWorkers())
+	}
+	if w := New("test_defaults", -3).Workers(); w != DefaultWorkers() {
+		t.Errorf("Workers() = %d for negative width", w)
+	}
+	if got := New("test_defaults", 7).Name(); got != "test_defaults" {
+		t.Errorf("Name() = %q", got)
+	}
+}

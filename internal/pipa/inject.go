@@ -61,6 +61,13 @@ func (st *StressTester) Segments(pref *Preference) (top, mid, low []string) {
 // the advisor's best columns and promotes mid-ranked ones, trapping it in a
 // local optimum (§5).
 func (st *StressTester) Inject(pref *Preference) *workload.Workload {
+	return st.InjectN(pref, st.Cfg.Na)
+}
+
+// InjectN is Inject with an explicit injection size. Injectors use it rather
+// than temporarily rewriting Cfg.Na, which would race when experiment cells
+// share a stress tester across worker goroutines.
+func (st *StressTester) InjectN(pref *Preference, na int) *workload.Workload {
 	defer obs.StartSpan("pipa.inject").End()
 	rng := st.rng(2)
 	top, mid, _ := st.Segments(pref)
@@ -89,8 +96,8 @@ func (st *StressTester) Inject(pref *Preference) *workload.Workload {
 
 	tw := &workload.Workload{}
 	reserve := &workload.Workload{} // mid-targeted queries that failed the filter
-	maxAttempts := st.Cfg.Na * 12
-	for attempt := 0; tw.Len() < st.Cfg.Na && attempt < maxAttempts; attempt++ {
+	maxAttempts := na * 12
+	for attempt := 0; tw.Len() < na && attempt < maxAttempts; attempt++ {
 		injectAttempts.Inc()
 		cs := sampleUniform(mid, st.Cfg.NumCols, rng)
 		q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng)
@@ -112,12 +119,12 @@ func (st *StressTester) Inject(pref *Preference) *workload.Workload {
 	}
 	// An empty injection would silently skip the stress test; fall back to
 	// the unfiltered mid-targeted queries — weaker, but still toxic-leaning.
-	for i := 0; tw.Len() < st.Cfg.Na && i < reserve.Len(); i++ {
+	for i := 0; tw.Len() < na && i < reserve.Len(); i++ {
 		tw.Add(reserve.Queries[i], reserve.Freqs[i])
 	}
 	// Last resort (tiny probing budgets can leave an unusable mid pool):
 	// single-column generation over the mid segment.
-	for attempt := 0; tw.Len() < st.Cfg.Na && attempt < st.Cfg.Na*4; attempt++ {
+	for attempt := 0; tw.Len() < na && attempt < na*4; attempt++ {
 		injectAttempts.Inc()
 		cs := sampleUniform(mid, 1, rng)
 		if q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng); err == nil && q != nil {

@@ -123,10 +123,7 @@ func (j PCInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workl
 	pref := &Preference{K: prefs}
 	pref.Ranking = append([]string(nil), cols...)
 	sortByScore(pref.Ranking, prefs)
-	saved := j.Tester.Cfg.Na
-	j.Tester.Cfg.Na = size
-	defer func() { j.Tester.Cfg.Na = saved }()
-	return j.Tester.Inject(pref)
+	return j.Tester.InjectN(pref, size)
 }
 
 // PIPAInjector is the full opaque-box PIPA: probe, then inject.
@@ -140,10 +137,7 @@ func (PIPAInjector) Name() string { return "PIPA" }
 // BuildInjection implements Injector.
 func (j PIPAInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
 	pref := j.Tester.Probe(ia)
-	saved := j.Tester.Cfg.Na
-	j.Tester.Cfg.Na = size
-	defer func() { j.Tester.Cfg.Na = saved }()
-	return j.Tester.Inject(pref)
+	return j.Tester.InjectN(pref, size)
 }
 
 // Injectors returns the paper's six injectors over one stress tester.

@@ -245,7 +245,7 @@ func TestSampleColumnsRespectsZeroMass(t *testing.T) {
 	cols := []string{"a", "b", "c"}
 	mu := []float64{0, 1, 0}
 	for i := 0; i < 20; i++ {
-		got := sampleColumns(cols, mu, 2, rng)
+		got := sampleColumns(cols, mu, 2, rng, nil)
 		if len(got) != 1 || got[0] != "b" {
 			t.Fatalf("sampleColumns = %v, want [b]", got)
 		}

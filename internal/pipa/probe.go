@@ -33,9 +33,10 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 	for i := range mu {
 		mu[i] = 1.0 / float64(L)
 	}
-	kSum := make([]float64, L)        // Σ_p θ̂·R̂ contributions
-	rewardSum := make([]float64, L)   // Σ_{i<p} R̂(l, s^i) for Eq. 9
-	probedEmpty := make([]float64, L) // probes that yielded no reward (β term)
+	kSum := make([]float64, L)           // Σ_p θ̂·R̂ contributions
+	rewardSum := make([]float64, L)      // Σ_{i<p} R̂(l, s^i) for Eq. 9
+	probedEmpty := make([]float64, L)    // probes that yielded no reward (β term)
+	scratch := make([]weightedCol, 0, L) // sampleColumns workspace, reused across the P×Np draws
 
 	pref := &Preference{K: make(map[string]float64, L)}
 
@@ -46,7 +47,7 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 		pw := &workload.Workload{}
 		probedCols := make(map[int]bool)
 		for i := 0; i < st.Cfg.Np; i++ {
-			cs := sampleColumns(cols, mu, st.Cfg.NumCols, rng)
+			cs := sampleColumns(cols, mu, st.Cfg.NumCols, rng, &scratch)
 			if len(cs) == 0 {
 				break
 			}
@@ -170,19 +171,32 @@ func (st *StressTester) segmentSnapshot(cols []string, kSum []float64, rounds fl
 	return [3][]string{top, mid, low}
 }
 
-// sampleColumns draws k distinct columns from the distribution mu.
-func sampleColumns(cols []string, mu []float64, k int, rng *rand.Rand) []string {
-	type wc struct {
-		i int
-		w float64
+// weightedCol is one candidate of a sampleColumns draw.
+type weightedCol struct {
+	i int
+	w float64
+}
+
+// sampleColumns draws k distinct columns from the distribution mu. scratch
+// is an optional reusable workspace (may be nil): Probe calls this Np times
+// per epoch, and reusing the candidate slice removes the dominant allocation
+// from the BenchmarkProbing profile.
+func sampleColumns(cols []string, mu []float64, k int, rng *rand.Rand, scratch *[]weightedCol) []string {
+	var avail []weightedCol
+	if scratch != nil {
+		avail = (*scratch)[:0]
+	} else {
+		avail = make([]weightedCol, 0, len(cols))
 	}
-	avail := make([]wc, 0, len(cols))
 	total := 0.0
 	for i, w := range mu {
 		if w > 0 {
-			avail = append(avail, wc{i, w})
+			avail = append(avail, weightedCol{i, w})
 			total += w
 		}
+	}
+	if scratch != nil {
+		*scratch = avail // keep any growth for the next draw
 	}
 	var out []string
 	for len(out) < k && len(avail) > 0 && total > 0 {

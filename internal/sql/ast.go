@@ -160,6 +160,12 @@ type Query struct {
 	GroupBy []string
 	OrderBy []OrderItem
 	Limit   int // 0 means no LIMIT
+
+	// fp caches the canonical rendering, set by Resolve once the query is
+	// final. Composition mutates queries freely before resolving; everything
+	// downstream (costing, memoization) treats a resolved query as immutable,
+	// so the cached text stays valid. Clone deliberately drops it.
+	fp string
 }
 
 // String renders the query as canonical SQL text. Parsing the result yields
@@ -210,6 +216,18 @@ func (q *Query) String() string {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}
 	return b.String()
+}
+
+// Fingerprint returns the canonical SQL text as a memoization key: the
+// rendering cached by Resolve when available, a fresh rendering otherwise
+// (never stored, so unresolved queries stay race-free under concurrent
+// costing). The what-if cache keys on this instead of re-rendering the query
+// on every lookup.
+func (q *Query) Fingerprint() string {
+	if q.fp != "" {
+		return q.fp
+	}
+	return q.String()
 }
 
 // FilterColumns returns the distinct qualified columns referenced by WHERE

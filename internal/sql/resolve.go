@@ -97,6 +97,9 @@ func Resolve(q *Query, s *catalog.Schema) error {
 		}
 		q.OrderBy[i].Column = c
 	}
+	// The query is now in its final, fully qualified form: cache the
+	// canonical rendering so hot paths (what-if memoization) never re-render.
+	q.fp = q.String()
 	return nil
 }
 
