@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet
+.PHONY: all build test race chaos bench fmt vet lint vuln
 
 all: fmt vet build test
 
@@ -14,6 +14,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the whole suite under -race with the fault-injection layer on:
+# the fault-aware tests read FAULT_RATE as their injection ceiling, so the
+# retry / breaker / fallback paths and the checkpoint journal are exercised,
+# while the determinism and zero-rung control assertions still hold.
+FAULT_RATE ?= 0.2
+
+chaos:
+	FAULT_RATE=$(FAULT_RATE) $(GO) test -race ./...
+
+# lint and vuln expect the tools on PATH (CI installs pinned versions; see
+# .github/workflows/ci.yml).
+lint:
+	staticcheck ./...
+
+vuln:
+	govulncheck ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

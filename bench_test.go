@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ var tinySetup = experiments.NewSetup("tpch", 1, experiments.ScaleTiny)
 func BenchmarkFig1Motivation(b *testing.B) {
 	calls0, hits0 := tinySetup.WhatIf.Stats()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunMotivation(tinySetup); err != nil {
+		if _, err := experiments.RunMotivation(context.Background(), tinySetup); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func BenchmarkFig1Motivation(b *testing.B) {
 // bench scale; pipa-bench runs all seven).
 func BenchmarkFig7MainResult(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunMainResult(tinySetup, []string{"DQN-b"}); err != nil {
+		if _, err := experiments.RunMainResult(context.Background(), tinySetup, []string{"DQN-b"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func benchMainResult(b *testing.B, workers int) {
 	defer func() { tinySetup.Workers = saved }()
 	calls0, hits0 := tinySetup.WhatIf.Stats()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunMainResult(tinySetup, []string{"DQN-b", "DRLindex-b"}); err != nil {
+		if _, err := experiments.RunMainResult(context.Background(), tinySetup, []string{"DQN-b", "DRLindex-b"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func BenchmarkMainResultParallel(b *testing.B) { benchMainResult(b, 0) }
 // BenchmarkTable1RD regenerates the Table 1 RD rows (trial-based advisor).
 func BenchmarkTable1RD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunMainResult(tinySetup, []string{"DRLindex-b"})
+		r, err := experiments.RunMainResult(context.Background(), tinySetup, []string{"DRLindex-b"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkTable1RD(b *testing.B) {
 // BenchmarkFig8CaseStudies regenerates the Fig. 8 learning-curve traces.
 func BenchmarkFig8CaseStudies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCaseStudies(tinySetup); err != nil {
+		if _, err := experiments.RunCaseStudies(context.Background(), tinySetup); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +104,7 @@ func BenchmarkFig8CaseStudies(b *testing.B) {
 // bench scale).
 func BenchmarkFig9Table2InjectionSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunInjectionSize(tinySetup, []string{"DQN-b"}, []float64{0.5, 2}, 8); err != nil {
+		if _, err := experiments.RunInjectionSize(context.Background(), tinySetup, []string{"DQN-b"}, []float64{0.5, 2}, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func BenchmarkFig9Table2InjectionSize(b *testing.B) {
 // BenchmarkFig10Boundaries regenerates the target-segment boundary sweep.
 func BenchmarkFig10Boundaries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunBoundaries(tinySetup, "DQN-b", []int{3, 5}, []float64{0.25}); err != nil {
+		if _, err := experiments.RunBoundaries(context.Background(), tinySetup, "DQN-b", []int{3, 5}, []float64{0.25}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkFig10Boundaries(b *testing.B) {
 // BenchmarkFig11ProbingEpochs regenerates the probing-budget sweep.
 func BenchmarkFig11ProbingEpochs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunProbingEpochs(tinySetup, []string{"DQN-b"}, []int{0, 4}); err != nil {
+		if _, err := experiments.RunProbingEpochs(context.Background(), tinySetup, []string{"DQN-b"}, []int{0, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +131,7 @@ func BenchmarkFig11ProbingEpochs(b *testing.B) {
 // BenchmarkFig12ProbingParams regenerates the α/β parameter sweeps.
 func BenchmarkFig12ProbingParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunProbingParams(tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.02}); err != nil {
+		if _, err := experiments.RunProbingParams(context.Background(), tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.02}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func BenchmarkFig12ProbingParams(b *testing.B) {
 // BenchmarkTable3GeneratorQuality regenerates the query-generator rows.
 func BenchmarkTable3GeneratorQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunGeneratorQuality(tinySetup, 30); err != nil {
+		if _, err := experiments.RunGeneratorQuality(context.Background(), tinySetup, 30); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -347,7 +348,7 @@ func BenchmarkProbing(b *testing.B) {
 	ia.Train(nw)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st.Probe(ia)
+		st.Probe(context.Background(), ia)
 	}
 }
 
@@ -361,7 +362,7 @@ func BenchmarkInjecting(b *testing.B) {
 	pref := &pipa.Preference{Ranking: cols, K: k}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if tw := st.Inject(pref); tw.Len() == 0 {
+		if tw := st.Inject(context.Background(), pref); tw.Len() == 0 {
 			b.Fatal("empty injection")
 		}
 	}
@@ -385,13 +386,13 @@ func BenchmarkDefenseAblation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := st.StressTest(plain, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
+		res := st.StressTest(context.Background(), plain, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
 		inner, err := tinySetup.TrainAdvisor("DQN-b", i, w)
 		if err != nil {
 			b.Fatal(err)
 		}
 		guarded := defense.NewRobust(inner, tinySetup.WhatIf, w)
-		resDef := st.StressTest(guarded, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
+		resDef := st.StressTest(context.Background(), guarded, pipa.PIPAInjector{Tester: st}, w, tinySetup.PipaCfg.Na)
 		_ = res
 		_ = resDef
 	}

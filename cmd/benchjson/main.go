@@ -11,8 +11,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,6 +39,11 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// errNoBenchmarks fails a run whose input held no parseable result lines: an
+// empty BENCH.json silently passing through CI is worse than a loud failure
+// (a filtered-out -bench regexp, a build error upstream of the pipe, ...).
+var errNoBenchmarks = errors.New("no benchmark result lines in input (wrong -bench filter, or a failed bench run upstream of the pipe?)")
+
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this path (required)")
 	flag.Parse()
@@ -44,13 +51,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
 		os.Exit(2)
 	}
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
 
+// run tees the bench output from in to tee while parsing it, then writes the
+// JSON summary to outPath. Input without a single benchmark line is an error
+// and writes nothing.
+func run(in io.Reader, tee io.Writer, outPath string) error {
+	rep, err := parse(in, tee)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), outPath)
+	return nil
+}
+
+// parse reads `go test -bench` text output, teeing every line through, and
+// returns the parsed report; errNoBenchmarks when nothing parsed.
+func parse(in io.Reader, tee io.Writer) (Report, error) {
 	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // tee through
+		fmt.Fprintln(tee, line) // tee through
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -67,20 +101,12 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return rep, err
 	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if len(rep.Benchmarks) == 0 {
+		return rep, errNoBenchmarks
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	return rep, nil
 }
 
 // parseLine parses one result line of the standard benchmark format:

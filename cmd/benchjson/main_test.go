@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Fake CPU @ 2.00GHz
+BenchmarkWhatIf-8   	     123	    456.7 ns/op	      89 B/op	       2 allocs/op	      0.99 hit-rate
+BenchmarkProbe     	      10	  99999 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseWellFormed(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBench), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkWhatIf" || b.Procs != 8 || b.Iterations != 123 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 456.7 || b.Metrics["hit-rate"] != 0.99 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if rep.Benchmarks[1].Procs != 0 {
+		t.Fatalf("unsuffixed name parsed procs = %d", rep.Benchmarks[1].Procs)
+	}
+}
+
+func TestParseTeesEveryLine(t *testing.T) {
+	var tee strings.Builder
+	if _, err := parse(strings.NewReader(sampleBench), &tee); err != nil {
+		t.Fatal(err)
+	}
+	if tee.String() != sampleBench {
+		t.Errorf("tee output diverged from input:\n got %q\nwant %q", tee.String(), sampleBench)
+	}
+}
+
+// TestParseNoBenchmarksIsError pins the failure mode this tool must not have:
+// input with zero benchmark lines (a test-only run, a broken pipe upstream)
+// must fail loudly instead of writing an empty-but-valid JSON report.
+func TestParseNoBenchmarksIsError(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":        "",
+		"test output":  "=== RUN TestFoo\n--- PASS: TestFoo (0.01s)\nPASS\nok  \trepro\t0.1s\n",
+		"headers only": "goos: linux\ngoarch: amd64\nPASS\n",
+	} {
+		_, err := parse(strings.NewReader(input), io.Discard)
+		if !errors.Is(err, errNoBenchmarks) {
+			t.Errorf("%s: err = %v, want errNoBenchmarks", name, err)
+		}
+	}
+}
+
+// TestParseMalformedLines: lines that start like results but do not parse are
+// skipped, and if nothing else parses the run still fails.
+func TestParseMalformedLines(t *testing.T) {
+	malformed := strings.Join([]string{
+		"BenchmarkTruncated-8",                 // too few fields
+		"BenchmarkNoIters-8   abc   456 ns/op", // non-numeric iterations
+		"BenchmarkBadValue-8   10   xyz ns/op", // non-numeric metric value
+		"Benchmark that isn't a result line at all",
+	}, "\n") + "\n"
+	_, err := parse(strings.NewReader(malformed), io.Discard)
+	if !errors.Is(err, errNoBenchmarks) {
+		t.Fatalf("err = %v, want errNoBenchmarks", err)
+	}
+
+	// One good line among the garbage is enough.
+	rep, err := parse(strings.NewReader(malformed+"BenchmarkOK-4   7   9.9 ns/op\n"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func TestRunWritesNothingOnError(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	err := run(strings.NewReader("PASS\n"), io.Discard, out)
+	if !errors.Is(err, errNoBenchmarks) {
+		t.Fatalf("err = %v, want errNoBenchmarks", err)
+	}
+	if _, statErr := os.Stat(out); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatalf("output file written despite error (stat: %v)", statErr)
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader(sampleBench), io.Discard, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"BenchmarkWhatIf"`, `"ns/op": 456.7`, `"hit-rate": 0.99`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %s:\n%s", want, data)
+		}
+	}
+}

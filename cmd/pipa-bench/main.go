@@ -6,15 +6,24 @@
 //	pipa-bench -exp fig7 -benchmark tpch -sf 1
 //	pipa-bench -exp table3
 //	pipa-bench -exp fig1 -report /tmp/fig1.json
+//	pipa-bench -exp faultsweep -faults 0.4   # AD/RD degradation vs fault rate
 //	pipa-bench -exp all -full        # paper-scale budgets; hours
+//
+// SIGINT cancels the experiment grid at the next cell boundary; with
+// -checkpoint set, completed cells are journaled and a rerun of the same
+// command resumes from them byte-identically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/advisor/registry"
 	"repro/internal/experiments"
@@ -25,7 +34,7 @@ import (
 // aliases (fig7/table1, fig9/table2) share a runner.
 var experimentIDs = []string{
 	"fig1", "fig7", "table1", "fig8", "fig9", "table2",
-	"fig10", "fig11", "fig12", "table3", "all",
+	"fig10", "fig11", "fig12", "table3", "faultsweep", "all",
 }
 
 func validExp(id string) bool {
@@ -44,6 +53,9 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale budgets (10 runs, 400 trajectories, P=20)")
 	workers := flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
+	faults := flag.Float64("faults", 0, "fault-rate ceiling for the faultsweep ladder (0 = default ladder for -exp faultsweep, skip it under -exp all)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for every fault decision; fixed seed = byte-identical sweeps at any -workers")
+	checkpoint := flag.String("checkpoint", "", "journal completed experiment cells to this file and resume from it on restart")
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
@@ -94,18 +106,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipa-bench: serving metrics on http://%s/metrics\n", bound)
 	}
 
+	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
+	// signal kills the process via the default handler (stop() reinstalls it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale := experiments.ScaleFast
 	if *full {
 		scale = experiments.ScaleFull
 	}
 	setup := experiments.NewSetup(*benchmark, *sf, scale)
 	setup.Workers = *workers
+	setup.FaultRate = *faults
+	setup.FaultSeed = *faultSeed
+
+	if *checkpoint != "" {
+		j, err := experiments.OpenJournal(*checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		defer j.Close()
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "pipa-bench: resuming from %s (%d cells done)\n", *checkpoint, n)
+		}
+		setup.Journal = j
+	}
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	run := func(id string, f func() (fmt.Stringer, error)) {
 		span := obs.StartSpan("experiment:" + id)
 		r, err := f()
 		span.End()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pipa-bench: interrupted")
+			if setup.Journal != nil {
+				fmt.Fprintf(os.Stderr, "pipa-bench: %d cells checkpointed to %s; rerun the same command to resume\n",
+					setup.Journal.Len(), *checkpoint)
+			}
+			os.Exit(130)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -113,13 +152,13 @@ func main() {
 	}
 
 	if want("fig1") {
-		run("fig1", func() (fmt.Stringer, error) { return experiments.RunMotivation(setup) })
+		run("fig1", func() (fmt.Stringer, error) { return experiments.RunMotivation(ctx, setup) })
 	}
 	if want("fig7") || want("table1") {
-		run("fig7", func() (fmt.Stringer, error) { return experiments.RunMainResult(setup, advisorList) })
+		run("fig7", func() (fmt.Stringer, error) { return experiments.RunMainResult(ctx, setup, advisorList) })
 	}
 	if want("fig8") {
-		run("fig8", func() (fmt.Stringer, error) { return experiments.RunCaseStudies(setup) })
+		run("fig8", func() (fmt.Stringer, error) { return experiments.RunCaseStudies(ctx, setup) })
 	}
 	if want("fig9") || want("table2") {
 		omegas := []float64{0.01, 0.1, 1, 10, 100}
@@ -128,27 +167,35 @@ func main() {
 			na = 36
 		}
 		run("fig9", func() (fmt.Stringer, error) {
-			return experiments.RunInjectionSize(setup, advisorList, omegas, na)
+			return experiments.RunInjectionSize(ctx, setup, advisorList, omegas, na)
 		})
 	}
 	if want("fig10") {
 		run("fig10", func() (fmt.Stringer, error) {
-			return experiments.RunBoundaries(setup, "DQN-b",
+			return experiments.RunBoundaries(ctx, setup, "DQN-b",
 				[]int{2, 3, 4, 5, 6, 7},
 				[]float64{1.0 / 8, 1.0 / 4, 3.0 / 8, 1.0 / 2, 3.0 / 4, 7.0 / 8})
 		})
 	}
 	if want("fig11") {
 		run("fig11", func() (fmt.Stringer, error) {
-			return experiments.RunProbingEpochs(setup, []string{"DQN-b", "SWIRL"}, []int{0, 2, 4, 8, 12, 16, 20})
+			return experiments.RunProbingEpochs(ctx, setup, []string{"DQN-b", "SWIRL"}, []int{0, 2, 4, 8, 12, 16, 20})
 		})
 	}
 	if want("fig12") {
 		n := float64(setup.Schema.NumColumns())
 		betas := []float64{0, 1 / (20 + n), 1 / (10 + n), 1 / (5 + n), 1 / (2 + n), 1 / (4.0/3 + n)}
 		run("fig12", func() (fmt.Stringer, error) {
-			return experiments.RunProbingParams(setup, "DQN-b",
+			return experiments.RunProbingParams(ctx, setup, "DQN-b",
 				[]float64{0.01, 0.05, 0.1, 0.5, 1, 10}, betas)
+		})
+	}
+	// The degradation sweep runs when asked for directly; under -exp all it
+	// is included only when -faults sets a ladder ceiling, so the default
+	// "all" stays fault-free.
+	if *exp == "faultsweep" || (*exp == "all" && *faults > 0) {
+		run("faultsweep", func() (fmt.Stringer, error) {
+			return experiments.RunFaultSweep(ctx, setup, advisorList[0], nil)
 		})
 	}
 	if want("table3") {
@@ -156,7 +203,7 @@ func main() {
 		if *full {
 			n = 1000 // the paper's N
 		}
-		run("table3", func() (fmt.Stringer, error) { return experiments.RunGeneratorQuality(setup, n) })
+		run("table3", func() (fmt.Stringer, error) { return experiments.RunGeneratorQuality(ctx, setup, n) })
 	}
 
 	printCacheStats(setup)

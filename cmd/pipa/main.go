@@ -5,19 +5,36 @@
 // Example:
 //
 //	pipa -benchmark tpch -sf 1 -advisor DQN-b -injector PIPA -runs 3
+//
+// SIGINT cancels the run grid at the next cell boundary; with -checkpoint
+// set, completed runs are journaled and a rerun of the same command resumes
+// where the interrupted one stopped, byte-identically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/advisor/registry"
+	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pipa"
 )
+
+// runCell is the journaled unit of one run: the stress-test result plus the
+// run's resilience telemetry, so a resumed run reprints identical output
+// without recomputing the cell.
+type runCell struct {
+	Res    pipa.Result
+	Faults cost.FaultStats
+}
 
 func main() {
 	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
@@ -28,6 +45,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	full := flag.Bool("full", false, "use the paper-scale budgets (slow)")
 	verbose := flag.Bool("v", false, "print per-run details")
+	faults := flag.Float64("faults", 0, "fault rate degrading the attacker's cost oracle (0 disables the chaos layer)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for every fault decision; fixed seed = byte-identical faults at any -workers")
+	checkpoint := flag.String("checkpoint", "", "journal completed runs to this file and resume from it on restart")
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
@@ -61,6 +81,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipa: serving metrics on http://%s/metrics\n", bound)
 	}
 
+	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
+	// signal kills the process via the default handler (stop() reinstalls it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale := experiments.ScaleFast
 	if *full {
 		scale = experiments.ScaleFull
@@ -68,8 +93,25 @@ func main() {
 	setup := experiments.NewSetup(*benchmark, *sf, scale)
 	setup.Runs = *runs
 	setup.Workers = *workers
-	st := setup.Tester()
+	setup.FaultRate = *faults
+	setup.FaultSeed = *faultSeed
 
+	var journal *experiments.Journal
+	if *checkpoint != "" {
+		j, err := experiments.OpenJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipa:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "pipa: resuming from %s (%d cells done)\n", *checkpoint, n)
+		}
+		journal = j
+		setup.Journal = j
+	}
+
+	st := setup.Tester()
 	var inj pipa.Injector
 	for _, candidate := range pipa.Injectors(st) {
 		if candidate.Name() == *injector {
@@ -83,20 +125,63 @@ func main() {
 
 	// Runs are independent (each derives its RNGs from the run index), so
 	// they fan out through a pool and print in run order afterwards.
-	results, err := par.Map(par.New("pipa_runs", *workers), *runs, func(run int) (pipa.Result, error) {
+	results, err := par.MapCtx(ctx, par.New("pipa_runs", *workers), *runs, func(ctx context.Context, run int) (runCell, error) {
+		key := fmt.Sprintf("pipa/%s/%s/run=%d", *advisorName, *injector, run)
+		var c runCell
+		if journal != nil && journal.Lookup(key, &c) {
+			return c, nil
+		}
+		// Under -faults the attacker's oracle is degraded per run (fresh
+		// injector, breaker, virtual clock) while AD stays on the clean one.
+		tester := st
+		if *faults > 0 {
+			tester = setup.FaultTester(*faults, int64(run))
+		}
 		w := setup.NormalWorkload(run)
 		ia, err := setup.TrainAdvisor(*advisorName, run, w)
 		if err != nil {
-			return pipa.Result{}, err
+			return runCell{}, err
 		}
-		return st.StressTest(ia, inj, w, setup.PipaCfg.Na), nil
+		// The injector list is bound to a tester; rebuild for the faulty one.
+		in := inj
+		if tester != st {
+			for _, candidate := range pipa.Injectors(tester) {
+				if candidate.Name() == *injector {
+					in = candidate
+				}
+			}
+		}
+		c.Res = tester.StressTest(ctx, ia, in, w, setup.PipaCfg.Na)
+		if *faults > 0 {
+			c.Faults = tester.WhatIf.FaultStats()
+		}
+		// A cancelled cell is truncated: fail it so it is never journaled.
+		if err := ctx.Err(); err != nil {
+			return runCell{}, err
+		}
+		if journal != nil {
+			if err := journal.Record(key, c); err != nil {
+				return runCell{}, err
+			}
+		}
+		return c, nil
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pipa: interrupted")
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "pipa: %d/%d runs checkpointed to %s; rerun the same command to resume\n",
+					journal.Len(), *runs, *checkpoint)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pipa:", err)
 		os.Exit(2)
 	}
 	var ads []float64
-	for run, res := range results {
+	var fs cost.FaultStats
+	for run, c := range results {
+		res := c.Res
 		ads = append(ads, res.AD)
 		if *verbose {
 			fmt.Printf("run %d: baseline %v (cost %.0f)\n", run, res.BaselineIndexes, res.BaselineCost)
@@ -104,10 +189,19 @@ func main() {
 		} else {
 			fmt.Printf("run %d: AD %+.3f\n", run, res.AD)
 		}
+		fs.Injected += c.Faults.Injected
+		fs.Retries += c.Faults.Retries
+		fs.Giveups += c.Faults.Giveups
+		fs.Trips += c.Faults.Trips
+		fs.Fallbacks += c.Faults.Fallbacks
 	}
 	st2 := experiments.NewStats(ads)
 	fmt.Printf("\n%s vs %s on %s: mean AD %+.3f (min %+.3f, max %+.3f, std %.3f, %d runs)\n",
 		*injector, *advisorName, setup.Name, st2.Mean, st2.Min, st2.Max, st2.Std, st2.N)
+	if *faults > 0 {
+		fmt.Printf("chaos (rate %g, seed %d): %d faults injected, %d retries, %d giveups, %d breaker trips, %d fallback costs\n",
+			*faults, *faultSeed, fs.Injected, fs.Retries, fs.Giveups, fs.Trips, fs.Fallbacks)
+	}
 
 	cs := setup.WhatIf.CacheStats()
 	fmt.Printf("what-if cache: %d calls, %d hits (%.1f%% hit rate)\n", cs.Calls, cs.Hits, 100*cs.HitRate())

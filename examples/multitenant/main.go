@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -51,14 +52,14 @@ func main() {
 	// A careless employee submits random queries before the update window.
 	fmt.Println("scenario A: careless employee submits random queries before retraining")
 	noisy := train()
-	resA := tester.StressTest(noisy, pipa.FSMInjector{Tester: tester}, tenants, 18)
+	resA := tester.StressTest(context.Background(), noisy, pipa.FSMInjector{Tester: tester}, tenants, 18)
 	fmt.Printf("  tenant cost after model update: %.0f (AD %+.3f)\n\n", resA.PoisonedCost, resA.AD)
 
 	// A malicious franchisee probes the advisor first and injects a toxic
 	// workload crafted against its preferences.
 	fmt.Println("scenario B: malicious franchisee probes the advisor, then injects")
 	attacked := train()
-	resB := tester.StressTest(attacked, pipa.PIPAInjector{Tester: tester}, tenants, 18)
+	resB := tester.StressTest(context.Background(), attacked, pipa.PIPAInjector{Tester: tester}, tenants, 18)
 	fmt.Printf("  tenant cost after model update: %.0f (AD %+.3f)\n\n", resB.PoisonedCost, resB.AD)
 
 	fmt.Println("every tenant pays for the poisoned update — the training pipeline,")

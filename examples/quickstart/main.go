@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -37,7 +38,7 @@ func main() {
 	// inject a toxic workload, retrain, measure.
 	tester := pipa.NewStressTester(schema, whatIf, nil, pipa.DefaultConfig(schema))
 	fmt.Println("probing and injecting ...")
-	result := tester.StressTest(victim, pipa.PIPAInjector{Tester: tester}, w, 18)
+	result := tester.StressTest(context.Background(), victim, pipa.PIPAInjector{Tester: tester}, w, 18)
 
 	fmt.Printf("\nbaseline indexes: %v (cost %.0f)\n", result.BaselineIndexes, result.BaselineCost)
 	fmt.Printf("poisoned indexes: %v (cost %.0f)\n", result.PoisonedIndexes, result.PoisonedCost)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,7 +41,7 @@ func main() {
 			panic(err)
 		}
 		ia.Train(w)
-		res := tester.StressTest(ia, pipa.PIPAInjector{Tester: tester}, w, 18)
+		res := tester.StressTest(context.Background(), ia, pipa.PIPAInjector{Tester: tester}, w, 18)
 		fmt.Printf("  %2d inference trials: AD %+.3f\n", trials, res.AD)
 	}
 
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("  baseline cost:     %.0f\n", base)
 
 	inj := pipa.PIPAInjector{Tester: tester}
-	tw := inj.BuildInjection(swirl, 18)
+	tw := inj.BuildInjection(context.Background(), swirl, 18)
 	swirl.Retrain(w.Merge(tw))
 	poisoned := whatIf.WorkloadCost(w.Queries, w.Freqs, swirl.Recommend(w))
 	fmt.Printf("  after poisoning:   %.0f (%+.1f%%)\n", poisoned, 100*(poisoned-base)/base)

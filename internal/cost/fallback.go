@@ -1,0 +1,42 @@
+package cost
+
+import (
+	"repro/internal/sql"
+)
+
+// indexDiscount is the fixed benefit FallbackCost credits a table whose
+// sargable columns are covered by the hypothetical index set. A crude stand-
+// in for real selectivity — the point of the fallback is availability, not
+// accuracy.
+const indexDiscount = 0.1
+
+// FallbackCost is the graceful-degradation cost heuristic served while the
+// what-if estimator is unavailable (circuit breaker open, or a call that
+// exhausted its retries). It charges every referenced table a sequential
+// scan of its heap pages plus per-tuple CPU, discounted by a fixed factor
+// when the index set covers one of the query's sargable columns on that
+// table. It reads only catalog statistics — no plan search, so it cannot
+// itself fail — and it is deterministic, keeping degraded runs reproducible.
+func FallbackCost(m *Model, q *sql.Query, indexes []Index) float64 {
+	sargable := make(map[string]bool)
+	for _, c := range q.SargableColumns() {
+		sargable[c] = true
+	}
+	total := 0.0
+	for _, t := range q.Tables {
+		tbl := m.Schema.Table(t)
+		if tbl == nil {
+			continue
+		}
+		rows := float64(tbl.Rows(m.Schema.SF))
+		cost := m.heapPages(tbl)*m.P.SeqPageCost + rows*m.P.CPUTupleCost
+		for _, ix := range indexes {
+			if ix.Table() == t && sargable[ix.LeadColumn()] {
+				cost *= indexDiscount
+				break
+			}
+		}
+		total += cost
+	}
+	return total
+}

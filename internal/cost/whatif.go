@@ -1,11 +1,14 @@
 package cost
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sql"
 )
@@ -19,6 +22,9 @@ var (
 	whatifShared = obs.GetCounter("cost_whatif_flight_waits_total")
 	whatifEvicts = obs.GetCounter("cost_whatif_evictions_total")
 	whatifSize   = obs.GetGauge("cost_whatif_entries")
+	// whatifFallbacks counts fallback-cost decisions: calls answered by the
+	// heuristic FallbackCost because the breaker was open or retries ran out.
+	whatifFallbacks = obs.GetCounter("cost_whatif_fallbacks_total")
 )
 
 // numShards partitions the cache by key hash so concurrent trials contend on
@@ -66,6 +72,68 @@ type WhatIf struct {
 	// costFn overrides Model.QueryCost in tests (to count or delay
 	// computations); nil means the real model.
 	costFn func(*sql.Query, []Index) float64
+
+	// Chaos-layer state, installed by EnableFaults; all nil/zero (and the
+	// fault path entirely skipped) on a clean oracle.
+	faults    *fault.Injector
+	breaker   *fault.Breaker
+	retry     fault.RetryPolicy
+	retries   atomic.Int64
+	giveups   atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// FaultStats is a point-in-time view of this oracle's resilience telemetry
+// (per-instance mirrors of the process-wide fault_* / cost_whatif_fallbacks
+// obs counters, so parallel experiment cells can attribute their own).
+type FaultStats struct {
+	Injected  int64 // faults fired by this oracle's injector, all kinds
+	Retries   int64 // extra model attempts caused by transient errors
+	Giveups   int64 // calls whose retries ran out
+	Trips     int64 // breaker Closed/HalfOpen → Open transitions
+	Fallbacks int64 // calls answered by the heuristic FallbackCost
+}
+
+// EnableFaults routes every cache miss through the chaos layer: latency
+// spikes stall on the injector's clock, transient errors are retried with
+// backoff, persistent failure trips a circuit breaker to the heuristic
+// FallbackCost model, and surviving estimates are perturbed
+// deterministically (noisy-cost / stale-stats faults). The injector's clock
+// drives backoff and breaker cooldown, so a VirtualClock keeps degraded
+// experiments byte-identical. Call before first use; passing nil disables
+// the layer again.
+func (w *WhatIf) EnableFaults(f *fault.Injector) {
+	w.faults = f
+	if f == nil {
+		w.breaker = nil
+		return
+	}
+	w.retry = fault.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    16 * time.Millisecond,
+		Budget:      100 * time.Millisecond,
+		Seed:        f.Seed(),
+		Clock:       f.Clock(),
+	}
+	w.breaker = fault.NewBreaker(3, 200*time.Millisecond, f.Clock())
+}
+
+// Faults returns the installed injector (nil on a clean oracle).
+func (w *WhatIf) Faults() *fault.Injector { return w.faults }
+
+// FaultStats reports this oracle's resilience telemetry.
+func (w *WhatIf) FaultStats() FaultStats {
+	st := FaultStats{
+		Injected:  w.faults.FiredTotal(),
+		Retries:   w.retries.Load(),
+		Giveups:   w.giveups.Load(),
+		Fallbacks: w.fallbacks.Load(),
+	}
+	if w.breaker != nil {
+		st.Trips = w.breaker.Trips()
+	}
+	return st
 }
 
 // CacheStats is a point-in-time view of the what-if cache.
@@ -133,8 +201,10 @@ func (w *WhatIf) queryCost(q *sql.Query, indexes []Index, idxKey string) float64
 
 	if w.costFn != nil {
 		fl.val = w.costFn(q, indexes)
-	} else {
+	} else if w.faults == nil {
 		fl.val = w.Model.QueryCost(q, indexes)
+	} else {
+		fl.val = w.computeFaulty(q, indexes, key)
 	}
 
 	// Respect the bound before inserting. Never holds two shard locks at
@@ -157,6 +227,44 @@ func (w *WhatIf) queryCost(q *sql.Query, indexes []Index, idxKey string) float64
 	sh.mu.Unlock()
 	close(fl.done)
 	return fl.val
+}
+
+// computeFaulty is the cache-miss compute path under chaos: stall on an
+// injected latency spike, gate on the breaker, retry transient errors with
+// backoff, fall back to the heuristic model on persistent failure, and
+// perturb surviving estimates deterministically. Breaker state depends on
+// call order, so deterministic experiments keep one oracle per serial cell.
+func (w *WhatIf) computeFaulty(q *sql.Query, indexes []Index, key string) float64 {
+	w.faults.Delay("whatif", key)
+	if w.breaker != nil && !w.breaker.Allow() {
+		w.fallbacks.Add(1)
+		whatifFallbacks.Inc()
+		return FallbackCost(w.Model, q, indexes)
+	}
+	var v float64
+	err := fault.Retry(context.Background(), w.retry, key, func(attempt int) error {
+		if attempt > 0 {
+			w.retries.Add(1)
+		}
+		if w.faults.Hit(fault.TransientErr, "whatif", key, attempt) {
+			return fault.ErrTransient
+		}
+		v = w.Model.QueryCost(q, indexes)
+		return nil
+	})
+	if err != nil {
+		w.giveups.Add(1)
+		if w.breaker != nil {
+			w.breaker.Failure()
+		}
+		w.fallbacks.Add(1)
+		whatifFallbacks.Inc()
+		return FallbackCost(w.Model, q, indexes)
+	}
+	if w.breaker != nil {
+		w.breaker.Success()
+	}
+	return w.faults.Perturb("whatif", key, v)
 }
 
 // evictOne removes one arbitrary entry, preferring the given shard, and

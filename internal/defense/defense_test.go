@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestSanitizerDropsToxicQueries(t *testing.T) {
 		}
 	}
 	pref := &pipa.Preference{Ranking: ranking, K: k}
-	tw := st.Inject(pref)
+	tw := st.Inject(context.Background(), pref)
 	if tw.Len() == 0 {
 		t.Skip("no toxic queries generated at this scale")
 	}
@@ -114,7 +115,7 @@ func TestRobustWrapper(t *testing.T) {
 	}
 	r.Train(nw)
 	// Poisoned retraining through the wrapper screens the merged set.
-	tw := pipa.PIPAInjector{Tester: st}.BuildInjection(r, 12)
+	tw := pipa.PIPAInjector{Tester: st}.BuildInjection(context.Background(), r, 12)
 	r.Retrain(nw.Merge(tw))
 	if r.LastReport == nil {
 		t.Fatal("no screening report recorded")
@@ -146,4 +147,127 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestSanitizerEmptyWorkloads pins the degenerate inputs a retraining
+// pipeline can hand the sanitizer: an empty reference (nothing is trusted
+// yet) and an empty incoming batch must both screen without panicking, and
+// every incoming query must be accounted for as kept or dropped.
+func TestSanitizerEmptyWorkloads(t *testing.T) {
+	env, nw, _ := setup(t)
+
+	empty := &workload.Workload{}
+	san := NewSanitizer(env.WhatIf, empty)
+	kept, report := san.Screen(empty)
+	if kept.Len() != 0 || report.Kept != 0 || report.Dropped != 0 {
+		t.Errorf("empty vs empty: kept=%d report=%s", kept.Len(), report)
+	}
+
+	// Normal queries against an empty reference: nothing is trusted, so any
+	// indexable query must be flagged, and the ledger must balance.
+	kept, report = san.Screen(nw)
+	if report.Kept+report.Dropped != nw.Len() {
+		t.Errorf("ledger: kept %d + dropped %d != incoming %d", report.Kept, report.Dropped, nw.Len())
+	}
+	for _, q := range kept.Queries {
+		if opt, _, ok := qgen.OptimalSingleColumn(env.WhatIf, q); ok {
+			t.Errorf("indexable query kept against empty reference (optimal %s): %s", opt, q)
+		}
+	}
+
+	// An empty incoming batch against a real reference.
+	san = NewSanitizer(env.WhatIf, nw)
+	kept, report = san.Screen(empty)
+	if kept.Len() != 0 || report.Dropped != 0 {
+		t.Errorf("real vs empty: kept=%d report=%s", kept.Len(), report)
+	}
+}
+
+// TestSanitizerSingleQueryWorkload: a one-query reference is the smallest
+// trusted set a DBA can vet; it must round-trip through Screen unchanged and
+// still screen other queries.
+func TestSanitizerSingleQueryWorkload(t *testing.T) {
+	env, nw, _ := setup(t)
+	single := &workload.Workload{}
+	single.Add(nw.Queries[0], nw.Freqs[0])
+
+	san := NewSanitizer(env.WhatIf, single)
+	kept, report := san.Screen(single)
+	if kept.Len() != 1 || report.Dropped != 0 {
+		t.Errorf("single-query reference dropped its own query: %s", report)
+	}
+
+	// The rest of the normal workload against the one-query reference: no
+	// panics, and the ledger balances.
+	rest := &workload.Workload{}
+	for i := 1; i < nw.Len(); i++ {
+		rest.Add(nw.Queries[i], nw.Freqs[i])
+	}
+	_, report = san.Screen(rest)
+	if report.Kept+report.Dropped != rest.Len() {
+		t.Errorf("ledger: kept %d + dropped %d != incoming %d", report.Kept, report.Dropped, rest.Len())
+	}
+}
+
+// TestRobustRetrainAllPoisoned: when the sanitizer rejects the entire
+// incoming batch, the wrapper must skip the model update — a defended
+// advisor must never retrain on zero trusted queries — and its
+// recommendation must be unchanged.
+func TestRobustRetrainAllPoisoned(t *testing.T) {
+	env, nw, st := setup(t)
+	// The hand-built toxic preference of TestSanitizerDropsToxicQueries.
+	cols := env.Schema.IndexableColumnNames()
+	ranking := []string{
+		"lineitem.l_shipdate", "lineitem.l_partkey", "lineitem.l_orderkey",
+		"lineitem.l_receiptdate",
+		"part.p_retailprice", "customer.c_phone", "supplier.s_acctbal",
+		"orders.o_clerk", "partsupp.ps_supplycost",
+	}
+	seen := make(map[string]bool)
+	k := map[string]float64{}
+	for i, c := range ranking {
+		seen[c] = true
+		k[c] = 1 / float64(i+1)
+	}
+	for _, c := range cols {
+		if !seen[c] {
+			ranking = append(ranking, c)
+		}
+	}
+	tw := st.Inject(context.Background(), &pipa.Preference{Ranking: ranking, K: k})
+
+	ia, err := registry.New("DQN-b", env, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRobust(ia, env.WhatIf, nw)
+	r.Train(nw)
+	before := r.Recommend(nw)
+
+	// Keep only the queries the sanitizer flags, so the batch is all-poison.
+	_, screened := r.Sanitizer.Screen(tw)
+	allBad := &workload.Workload{}
+	for i, q := range tw.Queries {
+		if _, flagged := screened.Reasons[q.String()]; flagged {
+			allBad.Add(q, tw.Freqs[i])
+		}
+	}
+	if allBad.Len() == 0 {
+		t.Skip("no toxic queries flagged at this scale")
+	}
+
+	r.Retrain(allBad)
+	if r.LastReport == nil || r.LastReport.Kept != 0 || r.LastReport.Dropped != allBad.Len() {
+		t.Fatalf("all-poisoned batch not fully dropped: %s", r.LastReport)
+	}
+	after := r.Recommend(nw)
+	if len(before) != len(after) {
+		t.Fatalf("recommendation changed after skipped update: %v vs %v", before, after)
+	}
+	for i := range before {
+		if before[i].Key() != after[i].Key() {
+			t.Errorf("recommendation changed after skipped update: %v vs %v", before, after)
+			break
+		}
+	}
 }

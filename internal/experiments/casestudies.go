@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,7 +36,7 @@ type CaseStudies struct {
 // DBA-bandit and DRLindex through baseline training and poisoned retraining
 // under both PIPA and I-L, and demonstrates that re-retraining SWIRL on the
 // normal workload recovers from the poisoning.
-func RunCaseStudies(s *Setup) (*CaseStudies, error) {
+func RunCaseStudies(ctx context.Context, s *Setup) (*CaseStudies, error) {
 	st := s.Tester()
 	out := &CaseStudies{Setup: s.Name}
 	w := s.NormalWorkload(0)
@@ -44,7 +45,7 @@ func RunCaseStudies(s *Setup) (*CaseStudies, error) {
 	// own advisor with a per-task Trace closure — so they fan out together.
 	advisors := []string{"DQN-b", "DBAbandit-b", "DRLindex-b"}
 	injNames := []string{"PIPA", "I-L"}
-	curves, err := par.Map(s.pool("casestudies"), len(advisors)*len(injNames), func(i int) (Curve, error) {
+	curves, err := par.MapCtx(ctx, s.pool("casestudies"), len(advisors)*len(injNames), func(ctx context.Context, i int) (Curve, error) {
 		name, injName := advisors[i/len(injNames)], injNames[i%len(injNames)]
 		var rewards []float64
 		cfg := s.AdvCfg
@@ -57,8 +58,11 @@ func RunCaseStudies(s *Setup) (*CaseStudies, error) {
 		ia.Train(w)
 		retrainStart := len(rewards)
 		inj := injectorByName(st, injName)
-		tw := inj.BuildInjection(ia, s.PipaCfg.Na)
+		tw := inj.BuildInjection(ctx, ia, s.PipaCfg.Na)
 		ia.Retrain(w.Merge(tw))
+		if err := ctx.Err(); err != nil {
+			return Curve{}, err
+		}
 		return Curve{
 			Label:        name + " / " + injName,
 			Rewards:      rewards,
@@ -78,7 +82,7 @@ func RunCaseStudies(s *Setup) (*CaseStudies, error) {
 	base := swirl.Recommend(w)
 	out.SwirlBaseline = s.WhatIf.WorkloadCost(w.Queries, w.Freqs, base)
 	inj := pipa.PIPAInjector{Tester: st}
-	tw := inj.BuildInjection(swirl, s.PipaCfg.Na)
+	tw := inj.BuildInjection(ctx, swirl, s.PipaCfg.Na)
 	swirl.Retrain(w.Merge(tw))
 	poisoned := swirl.Recommend(w)
 	out.SwirlPoisoned = s.WhatIf.WorkloadCost(w.Queries, w.Freqs, poisoned)

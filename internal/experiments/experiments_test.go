@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -40,7 +41,7 @@ func TestRunMotivation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment driver")
 	}
-	r, err := RunMotivation(tinySetup)
+	r, err := RunMotivation(context.Background(), tinySetup)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestRunMainResultSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment driver")
 	}
-	r, err := RunMainResult(tinySetup, []string{"DQN-b", "Heuristic"})
+	r, err := RunMainResult(context.Background(), tinySetup, []string{"DQN-b", "Heuristic"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunMainResultSmall(t *testing.T) {
 }
 
 func TestRunGeneratorQuality(t *testing.T) {
-	r, err := RunGeneratorQuality(tinySetup, 25)
+	r, err := RunGeneratorQuality(context.Background(), tinySetup, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunProbingParamsBetaSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment driver")
 	}
-	r, err := RunProbingParams(tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.05})
+	r, err := RunProbingParams(context.Background(), tinySetup, "DQN-b", []float64{0.1}, []float64{0, 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestTPCDSPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := st.StressTest(ia, injectorByName(st, "PIPA"), w, s.PipaCfg.Na)
+	res := st.StressTest(context.Background(), ia, injectorByName(st, "PIPA"), w, s.PipaCfg.Na)
 	if res.BaselineCost <= 0 {
 		t.Fatalf("degenerate TPC-DS run: %+v", res)
 	}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosRate returns the fault-rate ceiling for the fault experiments' tests:
+// the FAULT_RATE environment variable when set (the `make chaos` path), else
+// the default.
+func chaosRate(t testing.TB, def float64) float64 {
+	t.Helper()
+	v := os.Getenv("FAULT_RATE")
+	if v == "" {
+		return def
+	}
+	r, err := strconv.ParseFloat(v, 64)
+	if err != nil || r < 0 || r > 1 {
+		t.Fatalf("FAULT_RATE=%q is not a rate in [0,1]", v)
+	}
+	return r
+}
+
+func TestFaultRatesLadder(t *testing.T) {
+	got := FaultRates(0.4)
+	want := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if len(got) != len(want) {
+		t.Fatalf("ladder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v", got, want)
+		}
+	}
+	if def := FaultRates(0); def[4] != 0.4 {
+		t.Fatalf("default ceiling = %v", def)
+	}
+}
+
+// TestFaultSweepDeterministicAcrossWorkers pins the central acceptance
+// criterion of the chaos layer: with a fixed fault seed, the degradation
+// sweep is byte-identical at any worker width, because every fault decision
+// is a pure hash of (seed, site, key, attempt) and all stateful resilience
+// machinery (breaker, virtual clock, what-if cache) is scoped per cell.
+func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	rates := []float64{0, chaosRate(t, 0.3)}
+	var golden string
+	for _, workers := range []int{1, 4} {
+		s := *tinySetup
+		s.Workers = workers
+		s.FaultSeed = 7
+		r, err := RunFaultSweep(context.Background(), &s, "DQN-b", rates)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			golden = string(b)
+			continue
+		}
+		if string(b) != golden {
+			t.Errorf("fault sweep at workers=%d diverges from serial:\n got %s\nwant %s", workers, b, golden)
+		}
+	}
+}
+
+// TestFaultSweepZeroRungIsClean: the rate-0 rung must record zero fault
+// activity — the ladder's built-in control for the `-faults 0 changes
+// nothing` acceptance criterion.
+func TestFaultSweepZeroRungIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	s := *tinySetup
+	s.Workers = 2
+	s.FaultSeed = 3
+	r, err := RunFaultSweep(context.Background(), &s, "DQN-b", []float64{0, chaosRate(t, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	zero, hot := r.Points[0], r.Points[1]
+	if zero.Injected != 0 || zero.Retries != 0 || zero.Trips != 0 || zero.Fallbacks != 0 {
+		t.Errorf("rate-0 rung recorded fault activity: %+v", zero)
+	}
+	if hot.Rate > 0 && hot.Injected == 0 {
+		t.Errorf("rate-%g rung injected nothing: %+v", hot.Rate, hot)
+	}
+	out := r.String()
+	if !strings.Contains(out, "Fault sweep") || !strings.Contains(out, "fallbacks") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+// TestFaultSweepKillAndResume is the crash-safety acceptance test: cancel
+// the grid mid-run, then restart from the checkpoint journal and finish —
+// the final result must be byte-identical to an uninterrupted run.
+func TestFaultSweepKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	rates := []float64{0, 0.25}
+	marshal := func(r *FaultSweepResult) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// Golden: uninterrupted, no journal.
+	s := *tinySetup
+	s.Workers = 2
+	s.FaultSeed = 11
+	goldenRes, err := RunFaultSweep(context.Background(), &s, "DQN-b", rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := marshal(goldenRes)
+	total := len(rates) * s.Runs
+
+	// Phase 1: run with a journal and kill the grid once the first cells
+	// have been checkpointed.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Journal = j
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for j.Len() < 1 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, err = RunFaultSweep(ctx, &s, "DQN-b", rates)
+	interrupted := j.Len()
+	j.Close()
+	if err == nil {
+		// The grid can win the race and finish before the cancel lands;
+		// then this only exercises the full-journal replay path.
+		t.Logf("grid completed before cancellation (%d cells)", interrupted)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if interrupted == 0 {
+		t.Fatal("no cells checkpointed before cancellation")
+	}
+	t.Logf("interrupted after %d/%d cells", interrupted, total)
+
+	// Phase 2: reload the journal from disk and run to completion.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != interrupted {
+		t.Fatalf("journal reloaded %d cells, recorded %d", j2.Len(), interrupted)
+	}
+	s.Journal = j2
+	resumed, err := RunFaultSweep(context.Background(), &s, "DQN-b", rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(resumed); got != golden {
+		t.Errorf("resumed run diverges from uninterrupted run:\n got %s\nwant %s", got, golden)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +24,7 @@ type MotivationResult struct {
 // training workload, DQN's execution cost on the unchanged testing workload
 // rises noticeably, while the same amount of random (grammar-only) injection
 // does not expose the problem.
-func RunMotivation(s *Setup) (*MotivationResult, error) {
+func RunMotivation(ctx context.Context, s *Setup) (*MotivationResult, error) {
 	st := s.Tester()
 	na := s.WorkloadN / 4
 	if na < 1 {
@@ -34,7 +35,7 @@ func RunMotivation(s *Setup) (*MotivationResult, error) {
 	res := &MotivationResult{Setup: s.Name, InjectionSize: na}
 	// One independent task per run, reduced in run order afterwards.
 	type motiveRun struct{ randAD, toxicAD, baseRed float64 }
-	runs, err := par.Map(s.pool("motivation"), s.Runs, func(run int) (motiveRun, error) {
+	runs, err := par.MapCtx(ctx, s.pool("motivation"), s.Runs, func(ctx context.Context, run int) (motiveRun, error) {
 		var m motiveRun
 		w := s.NormalWorkload(run)
 		base, err := s.TrainAdvisor("DQN-b", run, w)
@@ -49,13 +50,16 @@ func RunMotivation(s *Setup) (*MotivationResult, error) {
 		if err != nil {
 			return m, err
 		}
-		m.randAD = st.StressTest(randVictim, pipa.FSMInjector{Tester: st}, w, na).AD
+		m.randAD = st.StressTest(ctx, randVictim, pipa.FSMInjector{Tester: st}, w, na).AD
 
 		toxicVictim, err := s.cloneOrRetrain(base, "DQN-b", run, w)
 		if err != nil {
 			return m, err
 		}
-		m.toxicAD = st.StressTest(toxicVictim, pipa.PIPAInjector{Tester: st}, w, na).AD
+		m.toxicAD = st.StressTest(ctx, toxicVictim, pipa.PIPAInjector{Tester: st}, w, na).AD
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		return m, nil
 	})
 	if err != nil {

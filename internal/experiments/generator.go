@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -26,7 +27,7 @@ type GeneratorResult struct {
 // progressive-training ablations, and full IABART, each evaluated on n
 // generations with 3 randomly specified indexes and a random reward
 // threshold.
-func RunGeneratorQuality(s *Setup, n int) (*GeneratorResult, error) {
+func RunGeneratorQuality(ctx context.Context, s *Setup, n int) (*GeneratorResult, error) {
 	res := &GeneratorResult{Setup: s.Name}
 	f := qgen.NewFSM(s.Schema)
 	opts := s.Gen.Opts
@@ -36,7 +37,7 @@ func RunGeneratorQuality(s *Setup, n int) (*GeneratorResult, error) {
 	ablCfg := []struct{ useLM, cond bool }{
 		{true, true}, {false, false}, {false, true}, {true, false},
 	}
-	ablGens, err := par.Map(s.pool("generator_train"), len(ablCfg), func(i int) (*qgen.IABART, error) {
+	ablGens, err := par.MapCtx(ctx, s.pool("generator_train"), len(ablCfg), func(_ context.Context, i int) (*qgen.IABART, error) {
 		o := opts
 		o.UseLM, o.IndexConditioning = ablCfg[i].useLM, ablCfg[i].cond
 		return qgen.TrainIABART(f, s.WhatIf, nil, o, s.Seed+11), nil
@@ -58,9 +59,12 @@ func RunGeneratorQuality(s *Setup, n int) (*GeneratorResult, error) {
 		full,
 	}
 	// Each row evaluates with its own (Seed, i)-derived RNG — independent.
-	rows, err := par.Map(s.pool("generator_eval"), len(gens), func(i int) (GeneratorRow, error) {
+	rows, err := par.MapCtx(ctx, s.pool("generator_eval"), len(gens), func(ctx context.Context, i int) (GeneratorRow, error) {
 		rng := rand.New(rand.NewSource(s.Seed*77 + int64(i)))
 		m := qgen.EvaluateGenerator(gens[i], s.Schema, s.WhatIf, nil, n, rng)
+		if err := ctx.Err(); err != nil {
+			return GeneratorRow{}, err
+		}
 		return GeneratorRow{Method: gens[i].Name(), GenMetrics: m}, nil
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -33,13 +34,13 @@ func TestWorkersGoldenDeterminism(t *testing.T) {
 	for _, workers := range widths {
 		s.Workers = workers
 
-		mr, err := RunMainResult(&s, []string{"DQN-b", "Heuristic"})
+		mr, err := RunMainResult(context.Background(), &s, []string{"DQN-b", "Heuristic"})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		gotMain := marshal(mr)
 
-		or, err := RunInjectionSize(&s, []string{"DQN-b"}, []float64{0.5, 2}, 6)
+		or, err := RunInjectionSize(context.Background(), &s, []string{"DQN-b"}, []float64{0.5, 2}, 6)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,7 +36,11 @@ type MainResult struct {
 // setup's worker pool; the injector loop inside a cell stays serial because
 // every injector stress-tests a clone of the same base advisor. Results are
 // assembled run-major afterwards, byte-identical to the serial order.
-func RunMainResult(s *Setup, advisors []string) (*MainResult, error) {
+//
+// Cancelling ctx stops the grid at the next cell boundary; cells completed
+// before the cancel land in the setup's checkpoint journal (when one is
+// configured), so a restarted run skips them byte-identically.
+func RunMainResult(ctx context.Context, s *Setup, advisors []string) (*MainResult, error) {
 	st := s.Tester()
 	injectors := pipa.Injectors(st)
 	res := &MainResult{Setup: s.Name, RD: make(map[string]float64), Advisors: advisors}
@@ -51,22 +56,29 @@ func RunMainResult(s *Setup, advisors []string) (*MainResult, error) {
 	// stress-test a fresh clone against each injector. The StressTester is
 	// stateless (all randomness derives from Cfg.Seed), so tasks share it.
 	nAdv := len(advisors)
-	rows, err := par.Map(s.pool("mainresult"), s.Runs*nAdv, func(i int) ([]float64, error) {
+	rows, err := par.MapCtx(ctx, s.pool("mainresult"), s.Runs*nAdv, func(ctx context.Context, i int) ([]float64, error) {
 		run, name := i/nAdv, advisors[i%nAdv]
-		w := s.NormalWorkload(run)
-		base, err := s.TrainAdvisor(name, run, w)
-		if err != nil {
-			return nil, err
-		}
-		ads := make([]float64, len(injectors))
-		for k, inj := range injectors {
-			victim, err := s.cloneOrRetrain(base, name, run, w)
+		return journaled(s, fmt.Sprintf("mainresult/%s/%d", name, run), func() ([]float64, error) {
+			w := s.NormalWorkload(run)
+			base, err := s.TrainAdvisor(name, run, w)
 			if err != nil {
 				return nil, err
 			}
-			ads[k] = st.StressTest(victim, inj, w, s.PipaCfg.Na).AD
-		}
-		return ads, nil
+			ads := make([]float64, len(injectors))
+			for k, inj := range injectors {
+				victim, err := s.cloneOrRetrain(base, name, run, w)
+				if err != nil {
+					return nil, err
+				}
+				ads[k] = st.StressTest(ctx, victim, inj, w, s.PipaCfg.Na).AD
+			}
+			// A cancelled cell is truncated, not complete: fail it so it is
+			// never journaled or folded into the result.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return ads, nil
+		})
 	})
 	if err != nil {
 		return nil, err

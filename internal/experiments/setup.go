@@ -14,6 +14,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pipa"
@@ -56,6 +57,17 @@ type Setup struct {
 	// every cell derives its RNG from (Seed, run, name) and owns its advisor
 	// instances, so only wall-clock changes (DESIGN.md §7).
 	Workers int
+
+	// FaultRate, when positive, degrades the attacker's cost oracle in
+	// fault-aware drivers (RunFaultSweep reads it as its ladder ceiling);
+	// FaultSeed drives every injection decision so degraded runs stay
+	// deterministic at any worker width (DESIGN.md §8).
+	FaultRate float64
+	FaultSeed int64
+
+	// Journal, when non-nil, checkpoints completed experiment cells so a
+	// cancelled grid resumes without recomputing them.
+	Journal *Journal
 }
 
 // NewSetup prepares a benchmark instance. benchmark is "tpch" or "tpcds";
@@ -118,6 +130,27 @@ func NewSetup(benchmark string, sf float64, scale Scale) *Setup {
 // Tester builds a stress tester with the setup's PIPA configuration.
 func (s *Setup) Tester() *pipa.StressTester {
 	return pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, s.PipaCfg)
+}
+
+// FaultTester builds a stress tester whose attacker-side cost oracle is
+// degraded by a deterministic fault injector at the given rate, while AD/RD
+// measurement stays on the setup's clean oracle (the Eval split: a
+// degradation curve must measure the attack degrading, not the ruler
+// bending). cell disambiguates the injector seed so concurrent experiment
+// cells draw independent fault streams; each call owns a fresh what-if
+// cache, breaker and virtual clock, keeping stateful fault evolution
+// per-cell and results byte-identical at any worker width (DESIGN.md §8).
+func (s *Setup) FaultTester(rate float64, cell int64) *pipa.StressTester {
+	inj := fault.New(fault.Config{
+		Rate: rate,
+		Seed: s.FaultSeed*1000003 + cell,
+	}, fault.NewVirtualClock())
+	w := cost.NewWhatIf(cost.NewModel(s.Schema))
+	w.EnableFaults(inj)
+	st := pipa.NewStressTester(s.Schema, w, s.Gen, s.PipaCfg)
+	st.Eval = s.WhatIf
+	st.Faults = inj
+	return st
 }
 
 // pool builds the worker pool one driver fans its cells through, named so

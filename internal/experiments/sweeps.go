@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,13 +28,13 @@ type InjectionSizeResult struct {
 // the requested values. RD compares PIPA to FSM at each ω. Every
 // (ω, advisor, run) cell is independent, so the whole sweep fans out flat
 // through the pool and is reduced per (ω, advisor) afterwards.
-func RunInjectionSize(s *Setup, advisors []string, omegas []float64, na int) (*InjectionSizeResult, error) {
+func RunInjectionSize(ctx context.Context, s *Setup, advisors []string, omegas []float64, na int) (*InjectionSizeResult, error) {
 	st := s.Tester()
 	res := &InjectionSizeResult{Setup: s.Name}
 
 	type cellResult struct{ ad, rd float64 }
 	nAdv, nRuns := len(advisors), s.Runs
-	cells, err := par.Map(s.pool("injectionsize"), len(omegas)*nAdv*nRuns, func(i int) (cellResult, error) {
+	cells, err := par.MapCtx(ctx, s.pool("injectionsize"), len(omegas)*nAdv*nRuns, func(ctx context.Context, i int) (cellResult, error) {
 		oi, rest := i/(nAdv*nRuns), i%(nAdv*nRuns)
 		name, run := advisors[rest/nRuns], rest%nRuns
 		wSize := int(float64(na) / omegas[oi])
@@ -50,13 +51,16 @@ func RunInjectionSize(s *Setup, advisors []string, omegas []float64, na int) (*I
 		if err != nil {
 			return c, err
 		}
-		fsmRes := st.StressTest(fsmVictim, pipa.FSMInjector{Tester: st}, w, na)
+		fsmRes := st.StressTest(ctx, fsmVictim, pipa.FSMInjector{Tester: st}, w, na)
 		pipaVictim, err := s.cloneOrRetrain(base, name, run, w)
 		if err != nil {
 			return c, err
 		}
-		pipaRes := st.StressTest(pipaVictim, pipa.PIPAInjector{Tester: st}, w, na)
+		pipaRes := st.StressTest(ctx, pipaVictim, pipa.PIPAInjector{Tester: st}, w, na)
 		c.ad, c.rd = pipaRes.AD, pipa.RD(pipaRes, fsmRes)
+		if err := ctx.Err(); err != nil {
+			return c, err
+		}
 		return c, nil
 	})
 	if err != nil {
@@ -107,7 +111,7 @@ type BoundariesResult struct {
 // RunBoundaries reproduces §6.4 on one advisor (the paper uses DQN on TPC-H
 // 10GB): sweep the mid-segment start with a fixed interval of 4 columns,
 // then sweep the segment end across fractions of L.
-func RunBoundaries(s *Setup, advisorName string, starts []int, endFracs []float64) (*BoundariesResult, error) {
+func RunBoundaries(ctx context.Context, s *Setup, advisorName string, starts []int, endFracs []float64) (*BoundariesResult, error) {
 	res := &BoundariesResult{Setup: s.Name}
 	// Both sweeps flatten into one fan-out so the pool sees every
 	// (config, run) cell at once.
@@ -124,7 +128,7 @@ func RunBoundaries(s *Setup, advisorName string, starts []int, endFracs []float6
 		cfg.MidEnd = int(f * float64(L))
 		cells = append(cells, adCell{advisor: advisorName, cfg: cfg})
 	}
-	samples, err := adSamples(s, "boundaries", cells)
+	samples, err := adSamples(ctx, s, "boundaries", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -151,9 +155,9 @@ type adCell struct {
 // (cell, run) grid fans out flat through the pool — each task trains its own
 // advisor from (Seed, run) and stress-tests under the cell's PIPA config —
 // and the flat results fold back into one sample slice per cell, in order.
-func adSamples(s *Setup, phase string, cells []adCell) ([][]float64, error) {
+func adSamples(ctx context.Context, s *Setup, phase string, cells []adCell) ([][]float64, error) {
 	nRuns := s.Runs
-	flat, err := par.Map(s.pool(phase), len(cells)*nRuns, func(i int) (float64, error) {
+	flat, err := par.MapCtx(ctx, s.pool(phase), len(cells)*nRuns, func(ctx context.Context, i int) (float64, error) {
 		cell, run := cells[i/nRuns], i%nRuns
 		st := pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, cell.cfg)
 		w := s.NormalWorkload(run)
@@ -161,7 +165,11 @@ func adSamples(s *Setup, phase string, cells []adCell) ([][]float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return st.StressTest(ia, pipa.PIPAInjector{Tester: st}, w, cell.cfg.Na).AD, nil
+		ad := st.StressTest(ctx, ia, pipa.PIPAInjector{Tester: st}, w, cell.cfg.Na).AD
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return ad, nil
 	})
 	if err != nil {
 		return nil, err
@@ -201,7 +209,7 @@ type ProbingEpochsResult struct {
 
 // RunProbingEpochs reproduces §6.5: sweep P for a one-off and a trial-based
 // advisor.
-func RunProbingEpochs(s *Setup, advisors []string, ps []int) (*ProbingEpochsResult, error) {
+func RunProbingEpochs(ctx context.Context, s *Setup, advisors []string, ps []int) (*ProbingEpochsResult, error) {
 	res := &ProbingEpochsResult{Setup: s.Name}
 	var cells []adCell
 	for _, name := range advisors {
@@ -211,7 +219,7 @@ func RunProbingEpochs(s *Setup, advisors []string, ps []int) (*ProbingEpochsResu
 			cells = append(cells, adCell{advisor: name, cfg: cfg})
 		}
 	}
-	samples, err := adSamples(s, "probingepochs", cells)
+	samples, err := adSamples(ctx, s, "probingepochs", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +260,7 @@ type ParamResult struct {
 
 // RunProbingParams reproduces §6.6: α drives the AD variance; β trades
 // probing rounds against ranking error.
-func RunProbingParams(s *Setup, advisorName string, alphas, betas []float64) (*ParamResult, error) {
+func RunProbingParams(ctx context.Context, s *Setup, advisorName string, alphas, betas []float64) (*ParamResult, error) {
 	res := &ParamResult{Setup: s.Name}
 	var cells []adCell
 	for _, a := range alphas {
@@ -260,7 +268,7 @@ func RunProbingParams(s *Setup, advisorName string, alphas, betas []float64) (*P
 		cfg.Alpha = a
 		cells = append(cells, adCell{advisor: advisorName, cfg: cfg})
 	}
-	samples, err := adSamples(s, "probingparams", cells)
+	samples, err := adSamples(ctx, s, "probingparams", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -284,14 +292,14 @@ func RunProbingParams(s *Setup, advisorName string, alphas, betas []float64) (*P
 	refCfg := s.PipaCfg
 	refCfg.Beta = 0
 	refTester := pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, refCfg)
-	refPref := refTester.Probe(ia)
+	refPref := refTester.Probe(ctx, ia)
 	refTop, refMid, refLow := refTester.Segments(refPref)
 
 	for _, beta := range betas {
 		cfg := s.PipaCfg
 		cfg.Beta = beta
 		st := pipa.NewStressTester(s.Schema, s.WhatIf, s.Gen, cfg)
-		pref := st.Probe(ia)
+		pref := st.Probe(ctx, ia)
 		top, mid, low := st.Segments(pref)
 		res.BetaSweep = append(res.BetaSweep, struct {
 			Beta          float64

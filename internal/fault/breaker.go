@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// breakerTrips counts Closed/HalfOpen → Open transitions process-wide.
+var breakerTrips = obs.GetCounter("fault_breaker_trips_total")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one trial call: success closes the breaker,
+	// failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker with an injectable clock.
+// Callers ask Allow before the protected call and report Success/Failure
+// after it; while the breaker rejects, they serve a degraded fallback
+// instead (graceful degradation, DESIGN.md §8.3).
+//
+// It is mutex-guarded and safe for concurrent use, but deterministic
+// experiments scope one breaker per serial cell: state transitions depend on
+// call order, so sharing one across goroutines would make which calls see
+// the open state scheduling-dependent.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	trips    atomic.Int64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (default 3) and tries again after cooldown (default 100ms).
+// clock may be nil for the wall clock.
+func NewBreaker(threshold int, cooldown time.Duration, clock Clock) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 100 * time.Millisecond
+	}
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Allow reports whether the protected call may proceed. In the open state it
+// returns false until the cooldown elapses, then admits one half-open trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default: // half-open: one trial is already in flight this period
+		return false
+	}
+}
+
+// Success reports a successful protected call, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure reports a failed protected call; enough consecutive failures (or
+// any half-open failure) trip the breaker open.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.failures >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.trips.Add(1)
+		breakerTrips.Inc()
+	}
+}
+
+// State returns the current state (open is reported as open even if the
+// cooldown has elapsed — the transition happens on the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times this breaker has opened.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Exported resilience counters, asserted by the chaos tests: every retry,
+// every give-up, and every op that eventually succeeded after retrying.
+var (
+	retriesTotal      = obs.GetCounter("fault_retries_total")
+	retryGiveupsTotal = obs.GetCounter("fault_retry_giveups_total")
+)
+
+// RetryPolicy bounds a retry loop three ways: by attempt count, by total
+// sleep budget, and by context. Backoff is exponential with deterministic
+// jitter — the jitter factor is a hash of (Seed, name, attempt), not a
+// random draw, so identical call sequences back off identically.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 1ms); each retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff (default 64×BaseDelay).
+	MaxDelay time.Duration
+	// Budget caps the cumulative backoff slept across the whole loop
+	// (default 32×MaxDelay): once spent, the loop gives up even if attempts
+	// remain.
+	Budget time.Duration
+	// Seed drives the jitter hash.
+	Seed int64
+	// Clock may be nil for the wall clock.
+	Clock Clock
+}
+
+// withDefaults fills the zero-value knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 64 * p.BaseDelay
+	}
+	if p.Budget <= 0 {
+		p.Budget = 32 * p.MaxDelay
+	}
+	if p.Clock == nil {
+		p.Clock = WallClock{}
+	}
+	return p
+}
+
+// Retry runs op until it succeeds or the policy is exhausted. op receives
+// the 0-based attempt number so deterministic fault injection can key its
+// decision per attempt (the same attempt always sees the same fault). name
+// identifies the call site for jitter derivation — pass a stable per-call
+// key so distinct calls jitter independently.
+//
+// The returned error is nil on success, ctx.Err() on cancellation, or the
+// last op error once attempts or budget run out.
+func Retry(ctx context.Context, pol RetryPolicy, name string, op func(attempt int) error) error {
+	pol = pol.withDefaults()
+	var slept time.Duration
+	var err error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err = op(attempt); err == nil {
+			return nil
+		}
+		if attempt == pol.MaxAttempts-1 {
+			break
+		}
+		d := backoff(pol, name, attempt)
+		if slept+d > pol.Budget {
+			break // budget exhausted: don't start a sleep we can't afford
+		}
+		pol.Clock.Sleep(d)
+		slept += d
+		retriesTotal.Inc()
+	}
+	retryGiveupsTotal.Inc()
+	return err
+}
+
+// backoff computes the attempt-th delay: exponential growth capped at
+// MaxDelay, scaled by a deterministic jitter factor in [0.5, 1).
+func backoff(pol RetryPolicy, name string, attempt int) time.Duration {
+	d := pol.BaseDelay << uint(attempt)
+	if d > pol.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = pol.MaxDelay
+	}
+	h := hashSeed(uint64(pol.Seed))
+	h = hashString(h, name)
+	h = hashInt(h, uint64(attempt))
+	jitter := 0.5 + 0.5*float64(h>>11)/(1<<53)
+	return time.Duration(float64(d) * jitter)
+}

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -83,52 +84,97 @@ func run[T any](p *Pool, i int, fn func(i int) (T, error)) (T, error) {
 }
 
 // Map runs fn for every index in [0, n) with at most p.Workers() tasks in
-// flight and returns the results in index order. All tasks run to completion
-// even when some fail; the returned error is the lowest-index one, so the
-// error a caller observes does not depend on goroutine scheduling.
+// flight and returns the results in index order. The first task failure
+// short-circuits the remaining queue — see MapCtx for the exact semantics.
 //
 // With one worker (or one task) everything runs inline on the caller's
 // goroutine — no spawn, identical span nesting to a serial loop.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation. Each task receives a context
+// that is cancelled as soon as the parent ctx is, or as soon as any task
+// fails — queued tasks that have not started are then skipped (their result
+// slots keep the zero value), so one bad cell no longer pays for the whole
+// grid.
+//
+// Because workers claim indices monotonically from one counter, every
+// skipped index is higher than every claimed one; the lowest-index error is
+// therefore identical to what a serial short-circuiting loop would report,
+// and parallel error observation stays scheduling-independent. (A lower-index
+// task already in flight may itself fail with ctx.Err() after a higher-index
+// failure cancels the group; callers that propagate ctx into fn see a
+// context error either way.) When no task fails but the parent ctx was
+// cancelled, MapCtx returns ctx.Err() alongside the partial results.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
 
 	if p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = run(p, i, fn)
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			results[i], errs[i] = run(p, i, func(i int) (T, error) { return fn(ctx, i) })
+			if errs[i] != nil {
+				return results, errs[i]
+			}
 		}
-		return results, firstError(errs)
+		return results, nil
 	}
 
 	workers := p.workers
 	if workers > n {
 		workers = n
 	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for cctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = run(p, i, fn)
+				results[i], errs[i] = run(p, i, func(i int) (T, error) { return fn(cctx, i) })
+				if errs[i] != nil {
+					cancel()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return results, firstError(errs)
+	if err := firstError(errs); err != nil {
+		return results, err
+	}
+	return results, ctx.Err()
 }
 
 // Do is Map for tasks without a result value.
 func Do(p *Pool, n int, fn func(i int) error) error {
 	_, err := Map(p, n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return err
+}
+
+// DoCtx is MapCtx for tasks without a result value.
+func DoCtx(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapCtx(ctx, p, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
 	return err
 }
 

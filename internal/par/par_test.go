@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -46,21 +47,114 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
-func TestMapRunsAllTasksDespiteError(t *testing.T) {
+func TestMapShortCircuitsQueuedTasksOnError(t *testing.T) {
+	// A task failure must cancel the group: tasks already in flight observe
+	// ctx.Done, and nothing new is claimed — one bad cell no longer pays for
+	// the whole grid.
 	var ran atomic.Int64
-	p := New("test_all", 4)
-	_, err := Map(p, 32, func(i int) (int, error) {
+	p := New("test_short", 4)
+	_, err := MapCtx(context.Background(), p, 64, func(ctx context.Context, i int) (int, error) {
 		ran.Add(1)
 		if i == 0 {
 			return 0, errors.New("early")
 		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if err == nil || err.Error() != "early" {
+		t.Fatalf("err = %v, want the lowest-index task error", err)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Fatalf("no short-circuit: all %d tasks ran", n)
+	}
+}
+
+func TestMapSerialShortCircuits(t *testing.T) {
+	ran := 0
+	p := New("test_short_serial", 1)
+	_, err := Map(p, 32, func(i int) (int, error) {
+		ran++
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
 		return i, nil
 	})
-	if err == nil {
-		t.Fatal("want error")
+	if err == nil || err.Error() != "stop" {
+		t.Fatalf("err = %v", err)
 	}
-	if ran.Load() != 32 {
-		t.Fatalf("ran %d of 32 tasks", ran.Load())
+	if ran != 4 {
+		t.Fatalf("serial map ran %d tasks after an error at index 3", ran)
+	}
+}
+
+func TestMapCtxPreservesOrderAndValues(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := New("test_ctx_order", workers)
+		got, err := MapCtx(context.Background(), p, 50, func(_ context.Context, i int) (int, error) {
+			return i + 1, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		p := New("test_ctx_precancel", workers)
+		_, err := MapCtx(ctx, p, 16, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The parallel path may let the first claims race the cancel check;
+		// serial must run nothing, and neither may run the whole grid.
+		if n := ran.Load(); n >= 16 || (workers == 1 && n != 0) {
+			t.Fatalf("workers=%d: %d tasks ran under a cancelled context", workers, n)
+		}
+	}
+}
+
+func TestMapCtxExternalCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	p := New("test_ctx_midrun", 4)
+	_, err := MapCtx(ctx, p, 64, func(ctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 2 {
+			cancel()
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Fatalf("cancel did not stop the queue: %d tasks ran", n)
+	}
+}
+
+func TestDoCtx(t *testing.T) {
+	var sum atomic.Int64
+	p := New("test_doctx", 4)
+	if err := DoCtx(context.Background(), p, 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
 	}
 }
 

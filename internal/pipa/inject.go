@@ -1,6 +1,7 @@
 package pipa
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/cost"
@@ -60,14 +61,15 @@ func (st *StressTester) Segments(pref *Preference) (top, mid, low []string) {
 // not optimized by an index on the top-ranked column — so retraining demotes
 // the advisor's best columns and promotes mid-ranked ones, trapping it in a
 // local optimum (§5).
-func (st *StressTester) Inject(pref *Preference) *workload.Workload {
-	return st.InjectN(pref, st.Cfg.Na)
+func (st *StressTester) Inject(ctx context.Context, pref *Preference) *workload.Workload {
+	return st.InjectN(ctx, pref, st.Cfg.Na)
 }
 
 // InjectN is Inject with an explicit injection size. Injectors use it rather
 // than temporarily rewriting Cfg.Na, which would race when experiment cells
-// share a stress tester across worker goroutines.
-func (st *StressTester) InjectN(pref *Preference, na int) *workload.Workload {
+// share a stress tester across worker goroutines. Cancelling ctx stops
+// generation and returns the injection built so far.
+func (st *StressTester) InjectN(ctx context.Context, pref *Preference, na int) *workload.Workload {
 	defer obs.StartSpan("pipa.inject").End()
 	rng := st.rng(2)
 	top, mid, _ := st.Segments(pref)
@@ -98,6 +100,9 @@ func (st *StressTester) InjectN(pref *Preference, na int) *workload.Workload {
 	reserve := &workload.Workload{} // mid-targeted queries that failed the filter
 	maxAttempts := na * 12
 	for attempt := 0; tw.Len() < na && attempt < maxAttempts; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			return tw
+		}
 		injectAttempts.Inc()
 		cs := sampleUniform(mid, st.Cfg.NumCols, rng)
 		q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng)
@@ -125,6 +130,9 @@ func (st *StressTester) InjectN(pref *Preference, na int) *workload.Workload {
 	// Last resort (tiny probing budgets can leave an unusable mid pool):
 	// single-column generation over the mid segment.
 	for attempt := 0; tw.Len() < na && attempt < na*4; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			return tw
+		}
 		injectAttempts.Inc()
 		cs := sampleUniform(mid, 1, rng)
 		if q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng); err == nil && q != nil {

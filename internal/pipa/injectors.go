@@ -1,6 +1,8 @@
 package pipa
 
 import (
+	"context"
+
 	"repro/internal/advisor"
 	"repro/internal/qgen"
 	"repro/internal/workload"
@@ -13,7 +15,8 @@ type Injector interface {
 	Name() string
 	// BuildInjection may interact with the victim (probing) but only
 	// through the opaque-box interface — except the clear-box P-C.
-	BuildInjection(ia advisor.Advisor, size int) *workload.Workload
+	// Cancelling ctx returns the (possibly partial) workload built so far.
+	BuildInjection(ctx context.Context, ia advisor.Advisor, size int) *workload.Workload
 }
 
 // TPInjector generates queries from the target workload's own benchmark
@@ -28,7 +31,7 @@ type TPInjector struct {
 func (TPInjector) Name() string { return "TP" }
 
 // BuildInjection implements Injector.
-func (j TPInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+func (j TPInjector) BuildInjection(_ context.Context, _ advisor.Advisor, size int) *workload.Workload {
 	rng := j.Tester.rng(10)
 	return workload.GenerateNormal(j.Tester.Schema, workload.TemplatesFor(j.Tester.Schema), size, rng)
 }
@@ -43,7 +46,7 @@ type FSMInjector struct {
 func (FSMInjector) Name() string { return "FSM" }
 
 // BuildInjection implements Injector.
-func (j FSMInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+func (j FSMInjector) BuildInjection(_ context.Context, _ advisor.Advisor, size int) *workload.Workload {
 	rng := j.Tester.rng(11)
 	f := qgen.NewFSM(j.Tester.Schema)
 	w := &workload.Workload{}
@@ -63,11 +66,14 @@ type IRInjector struct {
 func (IRInjector) Name() string { return "I-R" }
 
 // BuildInjection implements Injector.
-func (j IRInjector) BuildInjection(_ advisor.Advisor, size int) *workload.Workload {
+func (j IRInjector) BuildInjection(ctx context.Context, _ advisor.Advisor, size int) *workload.Workload {
 	rng := j.Tester.rng(12)
 	cols := j.Tester.Schema.IndexableColumnNames()
 	w := &workload.Workload{}
 	for attempts := 0; w.Len() < size && attempts < size*10; attempts++ {
+		if ctx != nil && ctx.Err() != nil {
+			return w
+		}
 		cs := sampleUniform(cols, j.Tester.Cfg.NumCols, rng)
 		if q, err := j.Tester.Gen.Generate(cs, j.Tester.Cfg.RewardTarget, rng); err == nil && q != nil {
 			w.Add(q, 1)
@@ -87,12 +93,15 @@ type ILInjector struct {
 func (ILInjector) Name() string { return "I-L" }
 
 // BuildInjection implements Injector.
-func (j ILInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
+func (j ILInjector) BuildInjection(ctx context.Context, ia advisor.Advisor, size int) *workload.Workload {
 	rng := j.Tester.rng(13)
-	pref := j.Tester.Probe(ia)
+	pref := j.Tester.Probe(ctx, ia)
 	low := pref.Ranking[len(pref.Ranking)/2:]
 	w := &workload.Workload{}
 	for attempts := 0; w.Len() < size && attempts < size*10; attempts++ {
+		if ctx != nil && ctx.Err() != nil {
+			return w
+		}
 		cs := sampleUniform(low, j.Tester.Cfg.NumCols, rng)
 		if q, err := j.Tester.Gen.Generate(cs, j.Tester.Cfg.RewardTarget, rng); err == nil && q != nil {
 			w.Add(q, 1)
@@ -112,18 +121,18 @@ type PCInjector struct {
 func (PCInjector) Name() string { return "P-C" }
 
 // BuildInjection implements Injector.
-func (j PCInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
+func (j PCInjector) BuildInjection(ctx context.Context, ia advisor.Advisor, size int) *workload.Workload {
 	intro, ok := ia.(advisor.Introspector)
 	if !ok {
 		// No introspection available: fall back to opaque-box PIPA.
-		return PIPAInjector{Tester: j.Tester}.BuildInjection(ia, size)
+		return PIPAInjector{Tester: j.Tester}.BuildInjection(ctx, ia, size)
 	}
 	prefs := intro.ColumnPreferences()
 	cols := j.Tester.Schema.IndexableColumnNames()
 	pref := &Preference{K: prefs}
 	pref.Ranking = append([]string(nil), cols...)
 	sortByScore(pref.Ranking, prefs)
-	return j.Tester.InjectN(pref, size)
+	return j.Tester.InjectN(ctx, pref, size)
 }
 
 // PIPAInjector is the full opaque-box PIPA: probe, then inject.
@@ -135,9 +144,9 @@ type PIPAInjector struct {
 func (PIPAInjector) Name() string { return "PIPA" }
 
 // BuildInjection implements Injector.
-func (j PIPAInjector) BuildInjection(ia advisor.Advisor, size int) *workload.Workload {
-	pref := j.Tester.Probe(ia)
-	return j.Tester.InjectN(pref, size)
+func (j PIPAInjector) BuildInjection(ctx context.Context, ia advisor.Advisor, size int) *workload.Workload {
+	pref := j.Tester.Probe(ctx, ia)
+	return j.Tester.InjectN(ctx, pref, size)
 }
 
 // Injectors returns the paper's six injectors over one stress tester.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/qgen"
 	"repro/internal/workload"
 )
@@ -92,6 +93,27 @@ type StressTester struct {
 	WhatIf *cost.WhatIf
 	Gen    *qgen.IABART
 	Cfg    Config
+
+	// Eval, when non-nil, is the clean measurement oracle used for the
+	// baseline/poisoned workload costs of StressTest. The fault-degradation
+	// experiments split the oracles: WhatIf (possibly chaos-wrapped via
+	// EnableFaults) carries the attacker's probing/filtering feedback, while
+	// Eval scores the victim on ground truth — so a degradation curve
+	// measures the attack degrading, not the ruler bending.
+	Eval *cost.WhatIf
+
+	// Faults, when non-nil, injects probe-level faults (dropped probe
+	// responses) into the Probe loop; cost-level faults live on the WhatIf
+	// oracle itself.
+	Faults *fault.Injector
+}
+
+// eval returns the measurement oracle: Eval if set, else WhatIf.
+func (st *StressTester) eval() *cost.WhatIf {
+	if st.Eval != nil {
+		return st.Eval
+	}
+	return st.WhatIf
 }
 
 // NewStressTester builds a stress tester; gen may be nil to train a fresh

@@ -1,6 +1,7 @@
 package pipa
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestProbeProducesFullRanking(t *testing.T) {
 	st, env, nw := fastTester(t)
 	ia := fastAdvisor(t, env, "DQN-b")
 	ia.Train(nw)
-	pref := st.Probe(ia)
+	pref := st.Probe(context.Background(), ia)
 	if len(pref.Ranking) != env.L() {
 		t.Fatalf("ranking over %d columns, want %d", len(pref.Ranking), env.L())
 	}
@@ -136,8 +137,8 @@ func TestInjectFiltersTopColumn(t *testing.T) {
 	st, env, nw := fastTester(t)
 	ia := fastAdvisor(t, env, "DQN-b")
 	ia.Train(nw)
-	pref := st.Probe(ia)
-	tw := st.Inject(pref)
+	pref := st.Probe(context.Background(), ia)
+	tw := st.Inject(context.Background(), pref)
 	if tw.Len() == 0 {
 		t.Fatal("empty toxic workload")
 	}
@@ -174,7 +175,7 @@ func TestStressTestEndToEnd(t *testing.T) {
 	ia := fastAdvisor(t, env, "DRLindex-b")
 	ia.Train(nw)
 	victim := ia.(advisor.Cloner).CloneAdvisor()
-	res := st.StressTest(victim, PIPAInjector{st}, nw, st.Cfg.Na)
+	res := st.StressTest(context.Background(), victim, PIPAInjector{st}, nw, st.Cfg.Na)
 	if res.BaselineCost <= 0 || res.PoisonedCost <= 0 {
 		t.Fatalf("degenerate costs: %+v", res)
 	}
@@ -201,7 +202,7 @@ func TestHeuristicADZero(t *testing.T) {
 	st, env, nw := fastTester(t)
 	ia := fastAdvisor(t, env, "Heuristic")
 	ia.Train(nw)
-	res := st.StressTest(ia, PIPAInjector{st}, nw, st.Cfg.Na)
+	res := st.StressTest(context.Background(), ia, PIPAInjector{st}, nw, st.Cfg.Na)
 	if res.AD != 0 {
 		t.Errorf("heuristic AD = %f, want exactly 0 (§2.1)", res.AD)
 	}
@@ -225,7 +226,7 @@ func TestNonProbingInjectorsBuild(t *testing.T) {
 	st, env, _ := fastTester(t)
 	ia := fastAdvisor(t, env, "Heuristic")
 	for _, inj := range []Injector{TPInjector{st}, FSMInjector{st}, IRInjector{st}} {
-		tw := inj.BuildInjection(ia, 6)
+		tw := inj.BuildInjection(context.Background(), ia, 6)
 		if tw.Len() == 0 {
 			t.Errorf("%s produced empty injection", inj.Name())
 		}
@@ -275,7 +276,7 @@ func TestILInjectorTargetsLowRanks(t *testing.T) {
 	st, env, nw := fastTester(t)
 	ia := fastAdvisor(t, env, "DQN-b")
 	ia.Train(nw)
-	tw := ILInjector{st}.BuildInjection(ia, 6)
+	tw := ILInjector{st}.BuildInjection(context.Background(), ia, 6)
 	// I-L may produce fewer queries (low-ranked columns are often
 	// unindexable), but whatever it produces must be resolvable queries.
 	for _, q := range tw.Queries {
@@ -291,7 +292,7 @@ func TestPCFallsBackWithoutIntrospection(t *testing.T) {
 	// preference weights; wrap it to hide any optional interfaces.
 	ia := opaqueOnly{fastAdvisor(t, env, "Heuristic")}
 	ia.Train(nw)
-	tw := PCInjector{st}.BuildInjection(ia, 4)
+	tw := PCInjector{st}.BuildInjection(context.Background(), ia, 4)
 	if tw == nil {
 		t.Fatal("P-C returned nil workload on fallback")
 	}

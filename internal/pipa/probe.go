@@ -1,16 +1,22 @@
 package pipa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/advisor"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
-var probeEpochs = obs.GetCounter("pipa_probe_epochs_total")
+var (
+	probeEpochs = obs.GetCounter("pipa_probe_epochs_total")
+	probeDrops  = obs.GetCounter("pipa_probe_drops_total")
+)
 
 // Probe implements Algorithm 1: it estimates the opaque-box advisor's
 // indexing preference by iteratively submitting generated probing workloads,
@@ -19,7 +25,14 @@ var probeEpochs = obs.GetCounter("pipa_probe_epochs_total")
 // distribution µ adapts per Eq. 9: columns with established high rewards and
 // columns that persistently yield nothing are both sampled less, steering
 // the budget toward informative probes.
-func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
+//
+// Cancelling ctx stops probing at the next epoch boundary; the returned
+// preference then reflects only the epochs that completed (callers that must
+// not act on a truncated probe check ctx.Err() afterwards). A configured
+// fault injector can drop individual probe responses — the query is still
+// spent from the budget, but its observation never reaches the estimator,
+// modelling a lossy channel to the victim.
+func (st *StressTester) Probe(ctx context.Context, ia advisor.Advisor) *Preference {
 	defer obs.StartSpan("pipa.probe").End()
 	rng := st.rng(1)
 	cols := st.Schema.IndexableColumnNames()
@@ -41,6 +54,9 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 	pref := &Preference{K: make(map[string]float64, L)}
 
 	for p := 0; p < st.Cfg.P; p++ {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
 		epoch := obs.StartSpan("probe.epoch")
 		probeEpochs.Inc()
 		// Build the probing workload PW_p (Alg. 1 lines 3-6).
@@ -53,6 +69,14 @@ func (st *StressTester) Probe(ia advisor.Advisor) *Preference {
 			}
 			q, err := st.Gen.Generate(cs, st.Cfg.RewardTarget, rng)
 			if err != nil || q == nil {
+				continue
+			}
+			// A dropped probe response: the budget is spent (the RNG has
+			// advanced) but the observation is lost. Keyed by (epoch, slot)
+			// so the decision is independent of query content and worker
+			// interleaving.
+			if st.Faults.Hit(fault.DroppedProbe, "probe", strconv.Itoa(p)+"/"+strconv.Itoa(i), 0) {
+				probeDrops.Inc()
 				continue
 			}
 			pw.Add(q, 1)

@@ -1,6 +1,8 @@
 package pipa
 
 import (
+	"context"
+
 	"repro/internal/advisor"
 	"repro/internal/cost"
 	"repro/internal/obs"
@@ -29,7 +31,13 @@ type Result struct {
 // The advisor must already be trained on w (callers typically train once and
 // stress-test copies or retrain sequences). StressTest mutates the advisor
 // (it retrains it) — run order matters.
-func (st *StressTester) StressTest(ia advisor.Advisor, inj Injector, w *workload.Workload, injSize int) Result {
+//
+// Workload costs are measured on the clean evaluation oracle (Eval, when the
+// fault experiments split it from the attacker's WhatIf). Cancelling ctx
+// abandons the protocol between phases and returns the partial Result;
+// callers that persist results must check ctx.Err() first so a truncated
+// run is never recorded.
+func (st *StressTester) StressTest(ctx context.Context, ia advisor.Advisor, inj Injector, w *workload.Workload, injSize int) Result {
 	defer obs.StartSpan("pipa.stress").End()
 	res := Result{Injector: inj.Name(), Advisor: ia.Name(), InjectionSize: injSize}
 
@@ -37,12 +45,18 @@ func (st *StressTester) StressTest(ia advisor.Advisor, inj Injector, w *workload
 	base := ia.Recommend(w)
 	span.End()
 	res.BaselineIndexes = indexKeys(base)
-	res.BaselineCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, base)
+	res.BaselineCost = st.eval().WorkloadCost(w.Queries, w.Freqs, base)
+	if ctx != nil && ctx.Err() != nil {
+		return res
+	}
 
 	span = obs.StartSpan("inject")
-	tw := inj.BuildInjection(ia, injSize)
+	tw := inj.BuildInjection(ctx, ia, injSize)
 	span.End()
 	res.InjectionSize = tw.Len()
+	if ctx != nil && ctx.Err() != nil {
+		return res
+	}
 
 	span = obs.StartSpan("retrain")
 	ia.Retrain(w.Merge(tw))
@@ -52,7 +66,7 @@ func (st *StressTester) StressTest(ia advisor.Advisor, inj Injector, w *workload
 	poisoned := ia.Recommend(w)
 	span.End()
 	res.PoisonedIndexes = indexKeys(poisoned)
-	res.PoisonedCost = st.WhatIf.WorkloadCost(w.Queries, w.Freqs, poisoned)
+	res.PoisonedCost = st.eval().WorkloadCost(w.Queries, w.Freqs, poisoned)
 
 	if res.BaselineCost > 0 {
 		res.AD = (res.PoisonedCost - res.BaselineCost) / res.BaselineCost

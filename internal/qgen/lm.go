@@ -3,6 +3,7 @@ package qgen
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -148,13 +149,19 @@ func (m *LM) ConstrainedChoose(context []string, candidates []string, temperatur
 		if len(next) == 0 {
 			return remaining[0].name
 		}
-		// Score the legal sub-tokens with the LM and pick.
+		// Score the legal sub-tokens with the LM and pick. The cumulative
+		// sampling below walks toks in order, so the order must be stable —
+		// ranging over the map here would make the decode depend on map
+		// iteration order.
 		toks := make([]string, 0, len(next))
-		probs := make([]float64, 0, len(next))
-		total := 0.0
 		for tok := range next {
-			p := m.Prob(ctx, tok)
 			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		probs := make([]float64, 0, len(toks))
+		total := 0.0
+		for _, tok := range toks {
+			p := m.Prob(ctx, tok)
 			probs = append(probs, p)
 			total += p
 		}
