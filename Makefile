@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench fmt vet lint vuln
+.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln
 
 all: fmt vet build test
 
@@ -23,6 +23,23 @@ FAULT_RATE ?= 0.2
 
 chaos:
 	FAULT_RATE=$(FAULT_RATE) $(GO) test -race ./...
+
+# guard runs the guarded-update suite under -race: the snapshot codec, the
+# advisor Snapshot/Restore round-trips, the guard state machine (canary gate,
+# rollback, breaker, quarantine, SIGKILL kill-and-resume) and the guardsweep
+# experiment drivers (DESIGN.md §9).
+guard:
+	$(GO) test -race ./internal/snap/... ./internal/guard/... ./internal/advisor/... \
+		-run 'Snapshot|Guard|Quarantine|WriteFileAtomic|TryRestore|Persist'
+	$(GO) test -race ./internal/experiments -run 'GuardSweep|GuardRates'
+
+# fuzz gives each fuzzer a short budget on top of its checked-in corpus —
+# a smoke pass, not a campaign (crank -fuzztime locally to hunt).
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/snap -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 
 # lint and vuln expect the tools on PATH (CI installs pinned versions; see
 # .github/workflows/ci.yml).

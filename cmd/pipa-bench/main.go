@@ -7,6 +7,7 @@
 //	pipa-bench -exp table3
 //	pipa-bench -exp fig1 -report /tmp/fig1.json
 //	pipa-bench -exp faultsweep -faults 0.4   # AD/RD degradation vs fault rate
+//	pipa-bench -exp guardsweep               # guarded vs unguarded AD across poison rates
 //	pipa-bench -exp all -full        # paper-scale budgets; hours
 //
 // SIGINT cancels the experiment grid at the next cell boundary; with
@@ -34,7 +35,7 @@ import (
 // aliases (fig7/table1, fig9/table2) share a runner.
 var experimentIDs = []string{
 	"fig1", "fig7", "table1", "fig8", "fig9", "table2",
-	"fig10", "fig11", "fig12", "table3", "faultsweep", "all",
+	"fig10", "fig11", "fig12", "table3", "faultsweep", "guardsweep", "all",
 }
 
 func validExp(id string) bool {
@@ -53,6 +54,8 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale budgets (10 runs, 400 trajectories, P=20)")
 	workers := flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
+	guardBudget := flag.Float64("guard-budget", 0.02, "canary regression budget for the guardsweep's guarded victim")
+	modelDir := flag.String("model-dir", "", "persist guarded trainers' last committed snapshots under this directory (guardsweep resumes mid-cell from it)")
 	faults := flag.Float64("faults", 0, "fault-rate ceiling for the faultsweep ladder (0 = default ladder for -exp faultsweep, skip it under -exp all)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for every fault decision; fixed seed = byte-identical sweeps at any -workers")
 	checkpoint := flag.String("checkpoint", "", "journal completed experiment cells to this file and resume from it on restart")
@@ -119,6 +122,8 @@ func main() {
 	setup.Workers = *workers
 	setup.FaultRate = *faults
 	setup.FaultSeed = *faultSeed
+	setup.GuardBudget = *guardBudget
+	setup.ModelDir = *modelDir
 
 	if *checkpoint != "" {
 		j, err := experiments.OpenJournal(*checkpoint)
@@ -196,6 +201,14 @@ func main() {
 	if *exp == "faultsweep" || (*exp == "all" && *faults > 0) {
 		run("faultsweep", func() (fmt.Stringer, error) {
 			return experiments.RunFaultSweep(ctx, setup, advisorList[0], nil)
+		})
+	}
+	// The guarded-vs-unguarded sweep also runs only when asked for directly:
+	// it replays GuardEpochs updates per cell on top of the usual training, so
+	// the default "all" stays at the paper's original protocol.
+	if *exp == "guardsweep" {
+		run("guardsweep", func() (fmt.Stringer, error) {
+			return experiments.RunGuardSweep(ctx, setup, advisorList[0], nil)
 		})
 	}
 	if want("table3") {

@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"repro/internal/advisor/registry"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pipa"
@@ -34,6 +36,11 @@ import (
 type runCell struct {
 	Res    pipa.Result
 	Faults cost.FaultStats
+
+	// Guarded-run telemetry (-guard): the guard trainer's counters and the
+	// outcome of the poisoned update.
+	Guard        guard.Stats
+	GuardOutcome string
 }
 
 func main() {
@@ -45,6 +52,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	full := flag.Bool("full", false, "use the paper-scale budgets (slow)")
 	verbose := flag.Bool("v", false, "print per-run details")
+	guardOn := flag.Bool("guard", false, "gate the victim's retrain behind a canary evaluation with automatic rollback (internal/guard)")
+	guardBudget := flag.Float64("guard-budget", 0.02, "canary regression budget for -guard; updates regressing past it are rolled back")
+	modelDir := flag.String("model-dir", "", "persist each guarded run's last committed snapshot under this directory (crash-safe; restarts resume from it)")
 	faults := flag.Float64("faults", 0, "fault rate degrading the attacker's cost oracle (0 disables the chaos layer)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for every fault decision; fixed seed = byte-identical faults at any -workers")
 	checkpoint := flag.String("checkpoint", "", "journal completed runs to this file and resume from it on restart")
@@ -142,6 +152,30 @@ func main() {
 		if err != nil {
 			return runCell{}, err
 		}
+		// Under -guard the victim's update path goes through the canary gate:
+		// the stress test's poisoned Retrain is snapshotted, evaluated on the
+		// held-out canary against the clean oracle, and rolled back when it
+		// regresses past the budget.
+		victim := ia
+		var gt *guard.Trainer
+		if *guardOn {
+			gcfg := guard.Config{
+				Budget: *guardBudget,
+				Canary: setup.CanaryWorkload(run),
+				Eval:   setup.WhatIf,
+			}
+			if *modelDir != "" {
+				gcfg.ModelDir = filepath.Join(*modelDir, fmt.Sprintf("%s_run%d", *advisorName, run))
+			}
+			gt, err = guard.NewTrainer(ia, gcfg)
+			if err != nil {
+				return runCell{}, err
+			}
+			if _, err := gt.TryRestore(); err != nil {
+				return runCell{}, err
+			}
+			victim = gt
+		}
 		// The injector list is bound to a tester; rebuild for the faulty one.
 		in := inj
 		if tester != st {
@@ -151,7 +185,11 @@ func main() {
 				}
 			}
 		}
-		c.Res = tester.StressTest(ctx, ia, in, w, setup.PipaCfg.Na)
+		c.Res = tester.StressTest(ctx, victim, in, w, setup.PipaCfg.Na)
+		if gt != nil {
+			c.Guard = gt.Stats()
+			c.GuardOutcome = gt.LastOutcome().String()
+		}
 		if *faults > 0 {
 			c.Faults = tester.WhatIf.FaultStats()
 		}
@@ -180,6 +218,7 @@ func main() {
 	}
 	var ads []float64
 	var fs cost.FaultStats
+	var gs guard.Stats
 	for run, c := range results {
 		res := c.Res
 		ads = append(ads, res.AD)
@@ -188,6 +227,15 @@ func main() {
 			fmt.Printf("       poisoned %v (cost %.0f)  AD %+.3f\n", res.PoisonedIndexes, res.PoisonedCost, res.AD)
 		} else {
 			fmt.Printf("run %d: AD %+.3f\n", run, res.AD)
+		}
+		if *guardOn {
+			fmt.Printf("       guard: update %s (canary regression %+.3f, %d quarantined)\n",
+				c.GuardOutcome, c.Guard.LastCanaryAD, c.Guard.Quarantined)
+			gs.Commits += c.Guard.Commits
+			gs.Rollbacks += c.Guard.Rollbacks
+			gs.Frozen += c.Guard.Frozen
+			gs.Trips += c.Guard.Trips
+			gs.Quarantined += c.Guard.Quarantined
 		}
 		fs.Injected += c.Faults.Injected
 		fs.Retries += c.Faults.Retries
@@ -198,6 +246,10 @@ func main() {
 	st2 := experiments.NewStats(ads)
 	fmt.Printf("\n%s vs %s on %s: mean AD %+.3f (min %+.3f, max %+.3f, std %.3f, %d runs)\n",
 		*injector, *advisorName, setup.Name, st2.Mean, st2.Min, st2.Max, st2.Std, st2.N)
+	if *guardOn {
+		fmt.Printf("guard (budget %g): %d commits, %d rollbacks, %d frozen, %d trips, %d queries quarantined\n",
+			*guardBudget, gs.Commits, gs.Rollbacks, gs.Frozen, gs.Trips, gs.Quarantined)
+	}
 	if *faults > 0 {
 		fmt.Printf("chaos (rate %g, seed %d): %d faults injected, %d retries, %d giveups, %d breaker trips, %d fallback costs\n",
 			*faults, *faultSeed, fs.Injected, fs.Retries, fs.Giveups, fs.Trips, fs.Fallbacks)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/guard"
 	"repro/internal/pipa"
 	"repro/internal/workload"
 )
@@ -64,6 +65,43 @@ func main() {
 	recovered := whatIf.WorkloadCost(w.Queries, w.Freqs, swirl.Recommend(w))
 	fmt.Printf("  after re-retrain:  %.0f (%+.1f%%)\n", recovered, 100*(recovered-base)/base)
 
+	fmt.Println("\ndefense 3: guarded retraining (canary gate + automatic rollback)")
+	fmt.Println("  (internal/guard: every update is snapshot -> update -> canary check;")
+	fmt.Println("   an update that regresses the trusted canary workload is undone)")
+	// Defense 1's knob matters here too: trial-based inference makes Recommend
+	// stable enough for the canary signal to rise above recommendation noise.
+	gc := cfg
+	gc.InferTrajectories = 40
+	bandit, err := registry.New("DBAbandit-b", env, gc)
+	if err != nil {
+		panic(err)
+	}
+	// The DBA gates updates on the vetted normal workload itself: exactly the
+	// traffic whose degradation the paper's AD metric measures.
+	guarded, err := guard.NewTrainer(bandit, guard.Config{Budget: 0.02, Canary: w, Eval: whatIf})
+	if err != nil {
+		panic(err)
+	}
+	guarded.Train(w)
+	gbase := whatIf.WorkloadCost(w.Queries, w.Freqs, guarded.Recommend(w))
+	tw = pipa.PIPAInjector{Tester: tester}.BuildInjection(context.Background(), guarded, 18)
+	guarded.Retrain(w.Merge(tw)) // the poisoned update, now transactional
+	gcost := whatIf.WorkloadCost(w.Queries, w.Freqs, guarded.Recommend(w))
+	gst := guarded.Stats()
+	fmt.Printf("  poisoned update:   %s (canary regression %+.1f%%)\n",
+		guarded.LastOutcome(), 100*gst.LastCanaryAD)
+	fmt.Printf("  cost after update: %.0f (%+.1f%% vs baseline %.0f)\n", gcost, 100*(gcost-gbase)/gbase, gbase)
+	fmt.Printf("  quarantined %d queries; first reason: ", guarded.Quarantine().Len())
+	if ents := guarded.Quarantine().Entries(); len(ents) > 0 {
+		fmt.Println(ents[0].Reason)
+	} else {
+		fmt.Println("(none)")
+	}
+	guarded.Retrain(w) // a vetted clean update sails through the same gate
+	fmt.Printf("  clean update:      %s (canary regression %+.1f%%)\n",
+		guarded.LastOutcome(), 100*guarded.Stats().LastCanaryAD)
+
 	fmt.Println("\ntakeaway: vet what enters the training pool, keep trial-based")
-	fmt.Println("inference on, and re-train from trusted workloads after incidents.")
+	fmt.Println("inference on, gate every model update behind a canary with rollback,")
+	fmt.Println("and re-train from trusted workloads after incidents.")
 }

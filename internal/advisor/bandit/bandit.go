@@ -30,6 +30,7 @@ const (
 type Bandit struct {
 	env *advisor.Env
 	cfg advisor.Config
+	src *advisor.CountingSource
 	rng *rand.Rand
 
 	a [][]float64 // ridge Gram matrix (d×d)
@@ -47,7 +48,8 @@ type Bandit struct {
 
 // New creates an untrained bandit advisor.
 func New(env *advisor.Env, cfg advisor.Config) *Bandit {
-	bd := &Bandit{env: env, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := advisor.NewCountingSource(cfg.Seed)
+	bd := &Bandit{env: env, cfg: cfg, src: src, rng: rand.New(src)}
 	bd.reset()
 	return bd
 }
@@ -125,9 +127,11 @@ func (bd *Bandit) trainOn(w *workload.Workload) {
 
 // CloneAdvisor implements advisor.Cloner.
 func (bd *Bandit) CloneAdvisor() advisor.Advisor {
+	src := advisor.NewCountingSource(bd.cfg.Seed + 7919)
 	c := &Bandit{
 		env: bd.env, cfg: bd.cfg,
-		rng:        rand.New(rand.NewSource(bd.cfg.Seed + 7919)),
+		src:        src,
+		rng:        rand.New(src),
 		a:          clone(bd.a),
 		b:          append([]float64(nil), bd.b...),
 		arms:       append([]int(nil), bd.arms...),

@@ -34,6 +34,7 @@ type transition struct {
 type DQN struct {
 	env *advisor.Env
 	cfg advisor.Config
+	src *advisor.CountingSource
 	rng *rand.Rand
 
 	net    *nn.MLP
@@ -53,7 +54,8 @@ type DQN struct {
 
 // New creates an untrained DQN advisor.
 func New(env *advisor.Env, cfg advisor.Config) *DQN {
-	d := &DQN{env: env, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := advisor.NewCountingSource(cfg.Seed)
+	d := &DQN{env: env, cfg: cfg, src: src, rng: rand.New(src)}
 	d.reset()
 	return d
 }
@@ -154,9 +156,11 @@ func (d *DQN) trainOn(w *workload.Workload, anneal bool) {
 // CloneAdvisor implements advisor.Cloner: a deep copy of the trained state
 // with an independent RNG stream.
 func (d *DQN) CloneAdvisor() advisor.Advisor {
+	src := advisor.NewCountingSource(d.cfg.Seed + 7919)
 	c := &DQN{
 		env: d.env, cfg: d.cfg,
-		rng:          rand.New(rand.NewSource(d.cfg.Seed + 7919)),
+		src:          src,
+		rng:          rand.New(src),
 		net:          d.net.Clone(),
 		target:       d.target.Clone(),
 		replay:       append([]transition(nil), d.replay...),

@@ -1,0 +1,89 @@
+package dqn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/advisor"
+	"repro/internal/nn"
+	"repro/internal/snap"
+)
+
+// snapKind namespaces DQN snapshots in the snap envelope.
+const snapKind = "advisor.dqn"
+
+// Snapshot implements advisor.Snapshotter. The replay buffer is deliberately
+// excluded: Retrain clears it on entry and Recommend never reads it, so it is
+// not observable across the snapshot boundary — a restored advisor recommends
+// and retrains exactly like the original.
+func (d *DQN) Snapshot() ([]byte, error) {
+	var e snap.Encoder
+	e.Int64(int64(d.cfg.Variant))
+	e.Int64(int64(d.env.L()))
+	e.Int64(int64(d.cfg.Hidden))
+	d.src.Encode(&e)
+	d.net.Encode(&e)
+	d.target.Encode(&e)
+	e.Floats(d.lastFeatures)
+	e.Bools(d.lastMask)
+	advisor.EncodeIndexes(&e, d.bestConfig)
+	e.Uint64(d.bestSig)
+	return e.Seal(snapKind), nil
+}
+
+// Restore implements advisor.Snapshotter. All decoding happens into
+// temporaries and is committed only after full validation, so a bad blob
+// leaves the advisor untouched.
+func (d *DQN) Restore(blob []byte) error {
+	dec, err := snap.Open(blob, snapKind)
+	if err != nil {
+		return err
+	}
+	variant, l, hidden := dec.Int64(), dec.Int64(), dec.Int64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if variant != int64(d.cfg.Variant) || l != int64(d.env.L()) || hidden != int64(d.cfg.Hidden) {
+		return fmt.Errorf("%w: dqn snapshot for variant=%d L=%d hidden=%d, advisor has %d/%d/%d",
+			snap.ErrKind, variant, l, hidden, d.cfg.Variant, d.env.L(), d.cfg.Hidden)
+	}
+	src := advisor.NewCountingSource(d.cfg.Seed)
+	if err := src.Decode(dec); err != nil {
+		return err
+	}
+	net, err := nn.DecodeMLP(dec)
+	if err != nil {
+		return err
+	}
+	target, err := nn.DecodeMLP(dec)
+	if err != nil {
+		return err
+	}
+	feats := dec.Floats()
+	mask := dec.Bools()
+	best, err := advisor.DecodeIndexes(dec)
+	if err != nil {
+		return err
+	}
+	sig := dec.Uint64()
+	if err := dec.Close(); err != nil {
+		return err
+	}
+	stateDim := d.env.L()*advisor.FeatureDim + d.env.L()
+	if net.InputSize() != stateDim || net.OutputSize() != d.env.L() ||
+		target.InputSize() != stateDim || target.OutputSize() != d.env.L() {
+		return fmt.Errorf("%w: dqn network shape mismatch", snap.ErrCorrupt)
+	}
+	if feats != nil && len(feats) != d.env.L()*advisor.FeatureDim {
+		return fmt.Errorf("%w: dqn feature vector length %d", snap.ErrCorrupt, len(feats))
+	}
+	if mask != nil && len(mask) != d.env.L() {
+		return fmt.Errorf("%w: dqn candidate mask length %d", snap.ErrCorrupt, len(mask))
+	}
+	d.src, d.rng = src, rand.New(src)
+	d.net, d.target = net, target
+	d.replay = d.replay[:0]
+	d.lastFeatures, d.lastMask = feats, mask
+	d.bestConfig, d.bestSig = best, sig
+	return nil
+}

@@ -36,6 +36,7 @@ type transition struct {
 type DRLindex struct {
 	env *advisor.Env
 	cfg advisor.Config
+	src *advisor.CountingSource
 	rng *rand.Rand
 
 	net    *nn.MLP
@@ -53,7 +54,8 @@ type DRLindex struct {
 
 // New creates an untrained DRLindex advisor.
 func New(env *advisor.Env, cfg advisor.Config) *DRLindex {
-	d := &DRLindex{env: env, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := advisor.NewCountingSource(cfg.Seed)
+	d := &DRLindex{env: env, cfg: cfg, src: src, rng: rand.New(src)}
 	d.reset()
 	return d
 }
@@ -156,9 +158,11 @@ func (d *DRLindex) trainOn(w *workload.Workload, anneal bool) {
 
 // CloneAdvisor implements advisor.Cloner.
 func (d *DRLindex) CloneAdvisor() advisor.Advisor {
+	src := advisor.NewCountingSource(d.cfg.Seed + 7919)
 	return &DRLindex{
 		env: d.env, cfg: d.cfg,
-		rng:          rand.New(rand.NewSource(d.cfg.Seed + 7919)),
+		src:          src,
+		rng:          rand.New(src),
 		net:          d.net.Clone(),
 		target:       d.target.Clone(),
 		replay:       append([]transition(nil), d.replay...),

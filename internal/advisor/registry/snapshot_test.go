@@ -1,0 +1,136 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/cost"
+	"repro/internal/snap"
+	"repro/internal/workload"
+)
+
+func keys(idx []cost.Index) []string {
+	out := make([]string, len(idx))
+	for i, ix := range idx {
+		out[i] = ix.Key()
+	}
+	return out
+}
+
+// TestSnapshotRoundTripDeterminism is the satellite contract: for every
+// advisor, Snapshot → Restore into a fresh instance reproduces the original's
+// recommendations exactly — on the training workload, on an unseen workload,
+// and after a further Retrain on both sides (which exercises the RNG replay:
+// a restored advisor must continue the exact random stream).
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	env, w := testSetup(t)
+	other := workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 8, rand.New(rand.NewSource(55)))
+	names := append(append([]string(nil), PaperAdvisors...), "Heuristic")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ia, err := New(name, env, fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapper, ok := ia.(advisor.Snapshotter)
+			if !ok {
+				t.Fatalf("%s does not implement Snapshotter", name)
+			}
+			ia.Train(w)
+			blob, err := snapper.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh, err := New(name, env, fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.(advisor.Snapshotter).Restore(blob); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if got, want := keys(fresh.Recommend(w)), keys(ia.Recommend(w)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trained-workload recommendation differs:\n got %v\nwant %v", got, want)
+			}
+			if got, want := keys(fresh.Recommend(other)), keys(ia.Recommend(other)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("unseen-workload recommendation differs:\n got %v\nwant %v", got, want)
+			}
+			// Continue training on both sides: identical streams must yield
+			// identical models.
+			merged := w.Merge(other)
+			ia.Retrain(merged)
+			fresh.Retrain(merged)
+			if got, want := keys(fresh.Recommend(merged)), keys(ia.Recommend(merged)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-restore retrain diverges:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRejectsDamage: corrupted and truncated blobs fail with
+// the snap typed errors and leave the advisor's state untouched.
+func TestSnapshotRestoreRejectsDamage(t *testing.T) {
+	env, w := testSetup(t)
+	names := append(append([]string(nil), PaperAdvisors...), "Heuristic")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ia, err := New(name, env, fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ia.Train(w)
+			snapper := ia.(advisor.Snapshotter)
+			blob, err := snapper.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipped := append([]byte(nil), blob...)
+			flipped[len(flipped)/2] ^= 0x01
+			if err := snapper.Restore(flipped); !errors.Is(err, snap.ErrCorrupt) {
+				t.Errorf("bit flip: err = %v, want ErrCorrupt", err)
+			}
+			if err := snapper.Restore(blob[:len(blob)-3]); !errors.Is(err, snap.ErrCorrupt) {
+				t.Errorf("truncation: err = %v, want ErrCorrupt", err)
+			}
+			if err := snapper.Restore(nil); !errors.Is(err, snap.ErrCorrupt) {
+				t.Errorf("empty blob: err = %v, want ErrCorrupt", err)
+			}
+			// A failed restore must leave state untouched: re-snapshotting
+			// yields the original bytes.
+			after, err := snapper.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(blob, after) {
+				t.Error("failed restores mutated advisor state")
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRejectsWrongKind: a blob from one advisor cannot be
+// restored into another.
+func TestSnapshotRestoreRejectsWrongKind(t *testing.T) {
+	env, w := testSetup(t)
+	dqn, err := New("DQN-b", env, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dqn.Train(w)
+	blob, err := dqn.(advisor.Snapshotter).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swirl, err := New("SWIRL", env, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swirl.(advisor.Snapshotter).Restore(blob); !errors.Is(err, snap.ErrKind) {
+		t.Errorf("cross-advisor restore: err = %v, want ErrKind", err)
+	}
+}

@@ -37,6 +37,7 @@ type step struct {
 type SWIRL struct {
 	env *advisor.Env
 	cfg advisor.Config
+	src *advisor.CountingSource
 	rng *rand.Rand
 
 	actor  *nn.MLP
@@ -51,7 +52,8 @@ type SWIRL struct {
 
 // New creates an untrained SWIRL advisor.
 func New(env *advisor.Env, cfg advisor.Config) *SWIRL {
-	s := &SWIRL{env: env, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := advisor.NewCountingSource(cfg.Seed)
+	s := &SWIRL{env: env, cfg: cfg, src: src, rng: rand.New(src)}
 	s.reset()
 	return s
 }
@@ -200,9 +202,11 @@ func (s *SWIRL) ppoUpdate(steps []step) {
 
 // CloneAdvisor implements advisor.Cloner.
 func (s *SWIRL) CloneAdvisor() advisor.Advisor {
+	src := advisor.NewCountingSource(s.cfg.Seed + 7919)
 	return &SWIRL{
 		env: s.env, cfg: s.cfg,
-		rng:          rand.New(rand.NewSource(s.cfg.Seed + 7919)),
+		src:          src,
+		rng:          rand.New(src),
 		actor:        s.actor.Clone(),
 		critic:       s.critic.Clone(),
 		trainMask:    append([]bool(nil), s.trainMask...),

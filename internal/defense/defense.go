@@ -21,10 +21,16 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/qgen"
 	"repro/internal/sql"
 	"repro/internal/workload"
 )
+
+// cleanDroppedTotal counts false positives: queries a sanitizer dropped from
+// a workload the caller vouches for as clean. Guard sweeps read it to report
+// the defense's collateral damage alongside its poisoning catch rate.
+var cleanDroppedTotal = obs.GetCounter("defense_clean_dropped_total")
 
 // Report describes one sanitization pass.
 type Report struct {
@@ -156,6 +162,16 @@ func (s *Sanitizer) Screen(incoming *workload.Workload) (*workload.Workload, *Re
 		report.Kept++
 	}
 	return kept, report
+}
+
+// ScreenClean screens a workload the caller knows to be clean and reports
+// the result; every drop is by definition a false positive and is counted on
+// defense_clean_dropped_total. The screened workload is discarded — this is
+// a measurement of the sanitizer, not a sanitization.
+func (s *Sanitizer) ScreenClean(clean *workload.Workload) *Report {
+	_, report := s.Screen(clean)
+	cleanDroppedTotal.Add(int64(report.Dropped))
+	return report
 }
 
 // suspicious applies the two anomaly tests to one query.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/pipa"
 	"repro/internal/qgen"
 	"repro/internal/workload"
@@ -269,5 +270,37 @@ func TestRobustRetrainAllPoisoned(t *testing.T) {
 			t.Errorf("recommendation changed after skipped update: %v vs %v", before, after)
 			break
 		}
+	}
+}
+
+func TestScreenCleanReportsFalsePositives(t *testing.T) {
+	env, nw, _ := setup(t)
+	san := NewSanitizer(env.WhatIf, nw)
+	other := workload.GenerateNormal(env.Schema, workload.TPCHTemplates(), 14, rand.New(rand.NewSource(31)))
+
+	// ScreenClean must agree with Screen on the verdicts and add exactly the
+	// dropped count — the sanitizer's false positives on vouched-clean
+	// traffic — to the process-wide counter.
+	_, want := san.Screen(other)
+	before := obs.GetCounter("defense_clean_dropped_total").Value()
+	report := san.ScreenClean(other)
+	after := obs.GetCounter("defense_clean_dropped_total").Value()
+
+	if report.Kept != want.Kept || report.Dropped != want.Dropped {
+		t.Errorf("ScreenClean report (kept %d, dropped %d) disagrees with Screen (kept %d, dropped %d)",
+			report.Kept, report.Dropped, want.Kept, want.Dropped)
+	}
+	if got := after - before; got != int64(report.Dropped) {
+		t.Errorf("defense_clean_dropped_total rose by %d, want %d", got, report.Dropped)
+	}
+
+	// The reference workload itself is clean by definition: zero drops, and
+	// the counter must not move.
+	before = obs.GetCounter("defense_clean_dropped_total").Value()
+	if rep := san.ScreenClean(nw); rep.Dropped != 0 {
+		t.Errorf("reference workload flagged as dirty: %s", rep)
+	}
+	if after = obs.GetCounter("defense_clean_dropped_total").Value(); after != before {
+		t.Errorf("counter moved on a zero-drop screen: %d -> %d", before, after)
 	}
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestGuardRatesLadder(t *testing.T) {
+	got := GuardRates()
+	want := []float64{0, 0.25, 0.5, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ladder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestGuardSweepDeterministicAcrossWorkers pins two acceptance criteria at
+// once: the sweep is byte-identical at any worker width (every cell owns its
+// advisors, trainer and RNG streams), and the guard works — at every nonzero
+// poison rate the guarded AD stays strictly below the unguarded AD, with at
+// least one automatic rollback exercised.
+func TestGuardSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	rates := []float64{0, 1}
+	var golden *GuardSweepResult
+	var goldenJSON string
+	for _, workers := range []int{1, 4} {
+		s := *tinySetup
+		s.Workers = workers
+		r, err := RunGuardSweep(context.Background(), &s, "DBAbandit-b", rates)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			golden, goldenJSON = r, string(b)
+			continue
+		}
+		if string(b) != goldenJSON {
+			t.Errorf("guard sweep at workers=%d diverges from serial:\n got %s\nwant %s", workers, b, goldenJSON)
+		}
+	}
+
+	if len(golden.Points) != len(rates) {
+		t.Fatalf("points = %d", len(golden.Points))
+	}
+	var rollbacks uint64
+	for _, p := range golden.Points {
+		rollbacks += p.Rollbacks
+		if p.Rate == 0 {
+			continue
+		}
+		if p.GuardedAD.Mean >= p.UnguardedAD.Mean {
+			t.Errorf("rate %g: guarded AD %+.3f not below unguarded %+.3f",
+				p.Rate, p.GuardedAD.Mean, p.UnguardedAD.Mean)
+		}
+	}
+	if rollbacks == 0 {
+		t.Error("no automatic rollback exercised across the sweep")
+	}
+}
+
+// TestGuardSweepModelDirResume: a rerun of the sweep over an existing
+// -model-dir restores every guarded trainer from its last committed snapshot
+// and replays the timeline, and must reproduce the from-scratch result
+// byte-identically (the mid-cell half of the kill-and-resume criterion; the
+// cell-level half is the journal, covered by the faultsweep test).
+func TestGuardSweepModelDirResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	rates := []float64{0, 1}
+	dir := t.TempDir()
+	var runs []string
+	for i := 0; i < 2; i++ {
+		s := *tinySetup
+		s.Workers = 2
+		s.Runs = 1
+		s.ModelDir = dir
+		r, err := RunGuardSweep(context.Background(), &s, "DBAbandit-b", rates)
+		if err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, string(b))
+	}
+	if runs[0] != runs[1] {
+		t.Errorf("model-dir resume diverges:\n got %s\nwant %s", runs[1], runs[0])
+	}
+}

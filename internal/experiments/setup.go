@@ -65,6 +65,18 @@ type Setup struct {
 	FaultRate float64
 	FaultSeed int64
 
+	// GuardBudget is the canary regression budget of guarded-training
+	// drivers (RunGuardSweep): an update whose held-out canary cost
+	// regresses past it is rolled back. GuardEpochs is how many update
+	// batches the guarded timeline replays per cell.
+	GuardBudget float64
+	GuardEpochs int
+
+	// ModelDir, when non-empty, is where guarded trainers persist their last
+	// committed snapshot (one subdirectory per experiment cell), so a killed
+	// guarded run resumes mid-cell from the last good model.
+	ModelDir string
+
 	// Journal, when non-nil, checkpoints completed experiment cells so a
 	// cancelled grid resumes without recomputing them.
 	Journal *Journal
@@ -120,9 +132,11 @@ func NewSetup(benchmark string, sf float64, scale Scale) *Setup {
 		Schema: s, WhatIf: w, Env: env, Gen: gen,
 		AdvCfg: acfg, PipaCfg: pcfg,
 		Runs: runs, WorkloadN: workload.DefaultSize(s), Seed: 1,
+		GuardBudget: 0.02, GuardEpochs: 3,
 	}
 	if scale == ScaleTiny {
 		setup.WorkloadN = 10
+		setup.GuardEpochs = 2
 	}
 	return setup
 }
@@ -167,6 +181,20 @@ func (s *Setup) NormalWorkload(run int) *workload.Workload {
 // workload sizes stay race-free.
 func (s *Setup) NormalWorkloadN(run, n int) *workload.Workload {
 	rng := rand.New(rand.NewSource(s.Seed*100000 + int64(run)))
+	return workload.GenerateNormal(s.Schema, workload.TemplatesFor(s.Schema), n, rng)
+}
+
+// CanaryWorkload generates the run-th held-out trusted workload: drawn from
+// the same normal distribution as NormalWorkload but from a disjoint RNG
+// stream, so it is statistically representative without sharing a single
+// query with the training set — the canary a guarded trainer gates updates
+// on must not be trainable-to.
+func (s *Setup) CanaryWorkload(run int) *workload.Workload {
+	rng := rand.New(rand.NewSource(s.Seed*100000 + int64(run) + 7_777_777))
+	n := s.WorkloadN / 2
+	if n < 4 {
+		n = 4
+	}
 	return workload.GenerateNormal(s.Schema, workload.TemplatesFor(s.Schema), n, rng)
 }
 

@@ -1,0 +1,64 @@
+package guard
+
+// Entry is one quarantined query with the reason it was refused.
+type Entry struct {
+	Query  string
+	Reason string
+	// Seq is the entry's global insertion number (monotonic across
+	// evictions), so callers can tell how much history the bounded buffer
+	// has dropped.
+	Seq uint64
+}
+
+// Quarantine is a bounded FIFO of refused queries. At capacity the oldest
+// entry is evicted; insertion order is stable and observable through Seq.
+// Duplicate query texts are collapsed onto the existing entry (the reason
+// and position of first refusal win): toxic batches repeat across a
+// poisoning timeline, and a quarantine full of copies would evict the
+// distinct history the DBA wants to inspect.
+type Quarantine struct {
+	cap     int
+	entries []Entry
+	present map[string]bool
+	next    uint64 // next Seq
+	evicted uint64
+}
+
+// NewQuarantine builds a quarantine holding at most cap entries (min 1).
+func NewQuarantine(cap int) *Quarantine {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Quarantine{cap: cap, present: make(map[string]bool, cap)}
+}
+
+// Add quarantines a query, reporting whether it created a new entry;
+// duplicates of a live entry are ignored.
+func (q *Quarantine) Add(query, reason string) bool {
+	if q.present[query] {
+		return false
+	}
+	if len(q.entries) >= q.cap {
+		delete(q.present, q.entries[0].Query)
+		q.entries = q.entries[1:]
+		q.evicted++
+	}
+	q.entries = append(q.entries, Entry{Query: query, Reason: reason, Seq: q.next})
+	q.present[query] = true
+	q.next++
+	return true
+}
+
+// Len returns the number of live entries.
+func (q *Quarantine) Len() int { return len(q.entries) }
+
+// Cap returns the capacity.
+func (q *Quarantine) Cap() int { return q.cap }
+
+// Evicted returns how many entries the bound has dropped.
+func (q *Quarantine) Evicted() uint64 { return q.evicted }
+
+// Entries returns the live entries oldest-first (copied).
+func (q *Quarantine) Entries() []Entry {
+	return append([]Entry(nil), q.entries...)
+}

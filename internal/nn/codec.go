@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// Encode appends the network's full state — shapes, parameters, accumulated
+// gradients and Adam moments — to e. Together with DecodeMLP it gives a
+// byte-exact round trip: a restored network continues training on the exact
+// optimizer trajectory the original would have taken.
+func (n *MLP) Encode(e *snap.Encoder) {
+	e.Int64(int64(n.step))
+	e.Uint64(uint64(len(n.layers)))
+	for _, l := range n.layers {
+		e.Int64(int64(l.in))
+		e.Int64(int64(l.out))
+		e.Int64(int64(l.act))
+		e.Floats(l.w)
+		e.Floats(l.b)
+		e.Floats(l.gw)
+		e.Floats(l.gb)
+		e.Floats(l.mw)
+		e.Floats(l.vw)
+		e.Floats(l.mb)
+		e.Floats(l.vb)
+	}
+}
+
+// DecodeMLP reads a network written by Encode, validating every shape so a
+// corrupted payload yields an error instead of a malformed network.
+func DecodeMLP(d *snap.Decoder) (*MLP, error) {
+	n := &MLP{step: int(d.Int64())}
+	nl := d.Uint64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nl == 0 || nl > 64 {
+		return nil, fmt.Errorf("%w: mlp with %d layers", snap.ErrCorrupt, nl)
+	}
+	for li := uint64(0); li < nl; li++ {
+		l := &layer{
+			in:  int(d.Int64()),
+			out: int(d.Int64()),
+			act: Activation(d.Int64()),
+		}
+		l.w = d.Floats()
+		l.b = d.Floats()
+		l.gw = d.Floats()
+		l.gb = d.Floats()
+		l.mw = d.Floats()
+		l.vw = d.Floats()
+		l.mb = d.Floats()
+		l.vb = d.Floats()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if l.in <= 0 || l.out <= 0 || l.act < Identity || l.act > Tanh {
+			return nil, fmt.Errorf("%w: mlp layer %d shape %dx%d act %d", snap.ErrCorrupt, li, l.in, l.out, l.act)
+		}
+		want := l.in * l.out
+		// Decoder.Floats returns nil for zero-length slices; every layer here
+		// has in,out >= 1 so all eight arrays must be present and sized.
+		if len(l.w) != want || len(l.gw) != want || len(l.mw) != want || len(l.vw) != want ||
+			len(l.b) != l.out || len(l.gb) != l.out || len(l.mb) != l.out || len(l.vb) != l.out {
+			return nil, fmt.Errorf("%w: mlp layer %d array sizes", snap.ErrCorrupt, li)
+		}
+		if li > 0 && n.layers[li-1].out != l.in {
+			return nil, fmt.Errorf("%w: mlp layer %d input %d != previous output %d", snap.ErrCorrupt, li, l.in, n.layers[li-1].out)
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+// trainedNet builds a network with non-trivial optimizer state: a few
+// forward/backward/step cycles so step, moments and parameters all differ
+// from initialization.
+func trainedNet(t *testing.T) *MLP {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	n := NewMLP(rng, []int{4, 6, 3}, ReLU, Identity)
+	for i := 0; i < 5; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		out, tape := n.ForwardTape(x)
+		grad := make([]float64, len(out))
+		for j := range grad {
+			grad[j] = out[j] - float64(j)
+		}
+		n.Backward(tape, grad)
+		n.Step(0.01)
+	}
+	return n
+}
+
+func TestMLPCodecRoundTrip(t *testing.T) {
+	n := trainedNet(t)
+	// Leave some un-stepped gradient in place so that path round-trips too.
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	out, tape := n.ForwardTape(x)
+	n.Backward(tape, []float64{1, -1, 0.5})
+
+	var e snap.Encoder
+	n.Encode(&e)
+	blob := e.Seal("nn.test")
+
+	d, err := snap.Open(blob, "nn.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMLP(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, got) {
+		t.Fatal("decoded network differs from original")
+	}
+	if !reflect.DeepEqual(out, got.Forward(x)) {
+		t.Fatal("decoded network predicts differently")
+	}
+	// Both must continue training identically: optimizer state round-tripped.
+	n.Step(0.01)
+	got.Step(0.01)
+	if !reflect.DeepEqual(n.Params(), got.Params()) {
+		t.Fatal("networks diverge after a post-restore optimizer step")
+	}
+}
+
+func TestDecodeMLPRejectsBadShapes(t *testing.T) {
+	bad := func(name string, build func(e *snap.Encoder)) {
+		t.Helper()
+		var e snap.Encoder
+		build(&e)
+		d, err := snap.Open(e.Seal("nn.test"), "nn.test")
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		if _, err := DecodeMLP(d); !errors.Is(err, snap.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	bad("zero layers", func(e *snap.Encoder) {
+		e.Int64(0)
+		e.Uint64(0)
+	})
+	bad("absurd layer count", func(e *snap.Encoder) {
+		e.Int64(0)
+		e.Uint64(1 << 30)
+	})
+	bad("negative dims", func(e *snap.Encoder) {
+		e.Int64(0)
+		e.Uint64(1)
+		e.Int64(-2)
+		e.Int64(3)
+		e.Int64(int64(ReLU))
+		for i := 0; i < 8; i++ {
+			e.Floats(nil)
+		}
+	})
+	bad("weight size mismatch", func(e *snap.Encoder) {
+		e.Int64(0)
+		e.Uint64(1)
+		e.Int64(2)
+		e.Int64(2)
+		e.Int64(int64(Tanh))
+		e.Floats([]float64{1, 2, 3}) // w should be 4 wide
+		for i := 0; i < 7; i++ {
+			e.Floats([]float64{0, 0, 0, 0})
+		}
+	})
+	bad("layer chain mismatch", func(e *snap.Encoder) {
+		e.Int64(0)
+		e.Uint64(2)
+		for _, dim := range []struct{ in, out int }{{2, 3}, {5, 1}} { // 3 != 5
+			e.Int64(int64(dim.in))
+			e.Int64(int64(dim.out))
+			e.Int64(int64(Identity))
+			e.Floats(make([]float64, dim.in*dim.out))
+			e.Floats(make([]float64, dim.out))
+			e.Floats(make([]float64, dim.in*dim.out))
+			e.Floats(make([]float64, dim.out))
+			e.Floats(make([]float64, dim.in*dim.out))
+			e.Floats(make([]float64, dim.in*dim.out))
+			e.Floats(make([]float64, dim.out))
+			e.Floats(make([]float64, dim.out))
+		}
+	})
+}

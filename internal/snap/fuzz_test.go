@@ -1,0 +1,47 @@
+package snap
+
+import "testing"
+
+// FuzzSnapshotRestore pins the codec's no-panic, no-huge-allocation contract
+// on arbitrary and mutated blobs: Open either rejects the envelope or yields
+// a decoder whose every read path fails gracefully with a sticky error.
+func FuzzSnapshotRestore(f *testing.F) {
+	var e Encoder
+	e.Uint64(7)
+	e.Floats([]float64{1.5, -2.5})
+	e.String("seed")
+	e.Bools([]bool{true, false})
+	f.Add(e.Seal("advisor.dqn"))
+
+	var e2 Encoder
+	e2.Ints([]int{1, 2, 3})
+	e2.Strings([]string{"a", "bc"})
+	f.Add(e2.Seal("guard.trainer"))
+
+	f.Add([]byte{})
+	f.Add([]byte("PSNP"))
+	f.Add([]byte("PSNP\x01\x00\xff\xff garbage beyond any real envelope"))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, kind := range []string{"advisor.dqn", "guard.trainer"} {
+			d, err := Open(blob, kind)
+			if err != nil {
+				continue
+			}
+			// Drain with every read type until the payload errors or runs dry;
+			// none of these may panic or allocate unboundedly.
+			for d.Err() == nil && d.Remaining() > 0 {
+				_ = d.Uint64()
+				_ = d.Float64()
+				_ = d.Bool()
+				_ = d.Bytes()
+				_ = d.String()
+				_ = d.Floats()
+				_ = d.Ints()
+				_ = d.Bools()
+				_ = d.Strings()
+			}
+			_ = d.Close()
+		}
+	})
+}

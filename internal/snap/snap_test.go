@@ -1,0 +1,152 @@
+package snap
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Uint64(42)
+	e.Int64(-7)
+	e.Float64(math.Pi)
+	e.Float64(math.Inf(-1))
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes([]byte{1, 2, 3})
+	e.String("hello")
+	e.Floats([]float64{1.5, -2.5, 0})
+	e.Ints([]int{9, -9})
+	e.Bools([]bool{true, false, true})
+	e.Strings([]string{"a", "", "bc"})
+	blob := e.Seal("test.kind")
+
+	d, err := Open(blob, "test.kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Uint64(); v != 42 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Int64(); v != -7 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Float64(); v != math.Pi {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.Float64(); !math.IsInf(v, -1) {
+		t.Errorf("Float64 inf = %v", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip")
+	}
+	if b := d.Bytes(); len(b) != 3 || b[2] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+	if s := d.String(); s != "hello" {
+		t.Errorf("String = %q", s)
+	}
+	if f := d.Floats(); len(f) != 3 || f[1] != -2.5 {
+		t.Errorf("Floats = %v", f)
+	}
+	if v := d.Ints(); len(v) != 2 || v[1] != -9 {
+		t.Errorf("Ints = %v", v)
+	}
+	if v := d.Bools(); len(v) != 3 || !v[2] {
+		t.Errorf("Bools = %v", v)
+	}
+	if v := d.Strings(); len(v) != 3 || v[2] != "bc" {
+		t.Errorf("Strings = %v", v)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	var e Encoder
+	e.Floats([]float64{1, 2, 3})
+	blob := e.Seal("k")
+
+	// Every single-byte flip anywhere in the envelope must be caught.
+	for i := range blob {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0x40
+		if _, err := Open(mutated, "k"); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Every truncation must be caught.
+	for n := 0; n < len(blob); n++ {
+		if _, err := Open(blob[:n], "k"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v", n, err)
+		}
+	}
+}
+
+func TestOpenKindAndVersion(t *testing.T) {
+	var e Encoder
+	e.Uint64(1)
+	blob := e.Seal("right")
+	if _, err := Open(blob, "wrong"); !errors.Is(err, ErrKind) {
+		t.Errorf("kind mismatch err = %v", err)
+	}
+	if _, err := Open(blob, "right"); err != nil {
+		t.Errorf("valid open: %v", err)
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	var e Encoder
+	e.Uint64(5)
+	blob := e.Seal("k")
+	d, err := Open(blob, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Uint64()
+	_ = d.Uint64() // past the end: sets the sticky error
+	if d.Err() == nil {
+		t.Fatal("overread not detected")
+	}
+	if v := d.Float64(); v != 0 {
+		t.Errorf("read after error = %v, want 0", v)
+	}
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Close after error = %v", err)
+	}
+}
+
+// TestDecoderBoundedAllocation: a length prefix claiming more elements than
+// the payload holds must fail instead of allocating.
+func TestDecoderBoundedAllocation(t *testing.T) {
+	var e Encoder
+	e.Uint64(1 << 60) // absurd length with no data behind it
+	blob := e.Seal("k")
+	d, err := Open(blob, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := d.Floats(); f != nil {
+		t.Errorf("Floats = %v, want nil", f)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.Uint64(1)
+	e.Uint64(2)
+	blob := e.Seal("k")
+	d, err := Open(blob, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Uint64()
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: Close = %v", err)
+	}
+}

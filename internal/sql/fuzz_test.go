@@ -1,0 +1,45 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// FuzzParse pins the lexer/parser's no-panic contract on arbitrary input.
+// Injected workloads flow through Parse before any screening, so a
+// panic-on-parse would be a denial-of-service channel for the attacker.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"SELECT l_partkey FROM lineitem WHERE l_quantity > 30",
+		"SELECT COUNT(*) FROM orders",
+		"SELECT SUM(l_extendedprice), AVG(l_discount) FROM lineitem",
+		"SELECT * FROM orders WHERE o_orderdate BETWEEN 100 AND 200",
+		"SELECT o_orderkey FROM orders WHERE o_orderpriority IN (1, 2, 3)",
+		"SELECT * FROM orders JOIN lineitem ON o_orderkey = l_orderkey",
+		"SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey GROUP BY o_orderkey ORDER BY o_orderkey DESC LIMIT 5",
+		"SELECT 'unterminated string",
+		"SELECT ((((((((",
+		"SELECT * FROM t WHERE a = 1e309",
+		"SELECT \x00\xff FROM \n\t",
+	} {
+		f.Add(seed)
+	}
+	schema := catalog.TPCH(1)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Each layer may reject the input with an error; none may panic.
+		if _, err := Tokenize(src); err != nil {
+			return
+		}
+		if _, err := Parse(src); err != nil {
+			return
+		}
+		if q, err := ParseResolved(src, schema); err == nil && q != nil {
+			// Exercise the derived views parse-poisoning reaches.
+			_ = q.String()
+			_ = q.ReferencedColumns()
+			_ = q.SargableColumns()
+		}
+	})
+}
