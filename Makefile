@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln
+.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln smoke serve
 
 all: fmt vet build test
 
@@ -32,6 +32,17 @@ guard:
 	$(GO) test -race ./internal/snap/... ./internal/guard/... ./internal/advisor/... \
 		-run 'Snapshot|Guard|Quarantine|WriteFileAtomic|TryRestore|Persist'
 	$(GO) test -race ./internal/experiments -run 'GuardSweep|GuardRates'
+
+# serve runs the serving-daemon suite under -race: admission control, the
+# degradation ladder, hot model swap, live rollback under load, the 2×
+# capacity soak, and kill-and-resume (DESIGN.md §10).
+serve:
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cli/...
+
+# smoke exercises the real advisord binary end to end: start, /readyz,
+# recommend + guarded update over HTTP, SIGTERM, clean drain (exit 0).
+smoke:
+	./scripts/smoke_advisord.sh
 
 # fuzz gives each fuzzer a short budget on top of its checked-in corpus —
 # a smoke pass, not a campaign (crank -fuzztime locally to hunt).

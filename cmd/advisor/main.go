@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/advisor/registry"
 	"repro/internal/catalog"
+	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -30,6 +32,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the (potentially long) training run with the
+	// conventional exit code.
+	stop := cli.ExitOnInterrupt("advisor")
+	defer stop()
+
+	if !registry.Valid(*name) {
+		fmt.Fprintf(os.Stderr, "advisor: unknown advisor %q (want one of %s)\n",
+			*name, strings.Join(registry.Names(), ", "))
+		os.Exit(2)
+	}
 
 	if *metricsAddr != "" {
 		bound, err := obs.StartServer(*metricsAddr, false)

@@ -1,0 +1,186 @@
+// Command advisord serves index recommendations as a daemon: train (or
+// restore) a guarded advisor, then answer POST /v1/recommend from an
+// atomically-swapped model snapshot while POST /v1/update batches retrain it
+// through the canary-gated guard. Overload sheds with 429, degraded answers
+// fall back through cache and heuristic tiers, and SIGTERM drains gracefully
+// (in-flight requests finish, the last committed model persists to
+// -model-dir).
+//
+// Example:
+//
+//	advisord -addr :8080 -benchmark tpch -advisor DQN-b -model-dir /var/lib/advisord
+//	curl -s localhost:8080/readyz
+//	curl -s -X POST localhost:8080/v1/recommend -d '{"queries":["SELECT COUNT(*) FROM lineitem WHERE l_partkey = 42"]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/heuristic"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cli"
+	"repro/internal/cost"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "serve the API on this address")
+	benchmark := flag.String("benchmark", "tpch", "benchmark schema: tpch or tpcds")
+	sf := flag.Float64("sf", 1, "scale factor")
+	name := flag.String("advisor", "DQN-b", "advisor name")
+	trajectories := flag.Int("trajectories", 120, "training trajectories")
+	n := flag.Int("n", 0, "initial training workload size (0 = paper default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	queue := flag.Int("queue", 64, "admission queue depth (concurrent requests before shedding)")
+	replicas := flag.Int("replicas", 2, "full-tier serving replicas")
+	updateQueue := flag.Int("update-queue", 4, "queued update batches before shedding")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+	degradeAfter := flag.Duration("degrade-after", 0, "full-tier wait before degrading (0 = timeout/4)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	cacheCap := flag.Int("cache", 1024, "recommendation cache entries")
+	guardBudget := flag.Float64("guard-budget", 0.02, "canary regression budget for updates")
+	modelDir := flag.String("model-dir", "", "persist committed model snapshots here; restored on restart")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this extra address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus metrics) on this extra address")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "advisord:", err)
+		os.Exit(1)
+	}
+
+	if !registry.Valid(*name) {
+		fmt.Fprintf(os.Stderr, "advisord: unknown advisor %q (want one of %s)\n",
+			*name, strings.Join(registry.Names(), ", "))
+		os.Exit(2)
+	}
+	var s *catalog.Schema
+	switch *benchmark {
+	case "tpch":
+		s = catalog.TPCH(*sf)
+	case "tpcds":
+		s = catalog.TPCDS(*sf)
+	default:
+		fmt.Fprintf(os.Stderr, "advisord: unknown benchmark %q\n", *benchmark)
+		os.Exit(2)
+	}
+
+	whatIf := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, whatIf)
+	cfg := advisor.DefaultConfig()
+	cfg.Trajectories = *trajectories
+	cfg.Seed = *seed
+	inner, err := registry.New(*name, env, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	size := *n
+	if size == 0 {
+		size = workload.DefaultSize(s)
+	}
+	// The canary draws from a disjoint seed stream so the gate holds out
+	// genuinely unseen queries (same convention as the experiment harness).
+	canary := workload.GenerateNormal(s, workload.TemplatesFor(s), max(4, size/2),
+		rand.New(rand.NewSource(*seed*100000+7_777_777)))
+
+	trainer, err := guard.NewTrainer(inner, guard.Config{
+		Budget:   *guardBudget,
+		Canary:   canary,
+		Eval:     whatIf,
+		ModelDir: *modelDir,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Restore a persisted model if one exists; otherwise train from scratch.
+	// ResumeLive (not TryRestore): a daemon's future updates are new work,
+	// not a replay of the checkpoint's history.
+	restored, err := trainer.ResumeLive()
+	if err != nil {
+		fail(err)
+	}
+	if restored {
+		fmt.Fprintf(os.Stderr, "advisord: restored %s from %s\n", trainer.Name(), *modelDir)
+	} else {
+		nw := workload.GenerateNormal(s, workload.TemplatesFor(s), size, rand.New(rand.NewSource(*seed)))
+		fmt.Fprintf(os.Stderr, "advisord: training %s on %d queries of %s ...\n", trainer.Name(), nw.Len(), s.Name)
+		start := time.Now()
+		trainer.Train(nw)
+		fmt.Fprintf(os.Stderr, "advisord: trained in %s\n", time.Since(start).Round(time.Millisecond))
+		if err := trainer.Persist(); err != nil {
+			fail(err)
+		}
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Trainer: trainer,
+		NewReplica: func() (advisor.Advisor, error) {
+			return registry.New(*name, env, cfg)
+		},
+		Fallback:       heuristic.New(env, cfg.Budget, false),
+		WhatIf:         whatIf,
+		Schema:         s,
+		QueueDepth:     *queue,
+		Replicas:       *replicas,
+		UpdateQueue:    *updateQueue,
+		DefaultTimeout: *timeout,
+		DegradeAfter:   *degradeAfter,
+		CacheCap:       *cacheCap,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// The standalone metrics server reports the same readiness as the API.
+	obs.SetReadyHook(srv.Ready)
+	for _, m := range []struct {
+		addr  string
+		pprof bool
+	}{{*metricsAddr, false}, {*pprofAddr, true}} {
+		if m.addr == "" {
+			continue
+		}
+		bound, err := obs.StartServer(m.addr, m.pprof)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "advisord: serving metrics on http://%s/metrics\n", bound)
+	}
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "advisord: serving on http://%s (advisor %s, model v%d)\n",
+		bound, trainer.Name(), srv.Version())
+
+	// Run until SIGINT/SIGTERM or a POST /drain, then drain gracefully:
+	// stop admitting, finish in-flight work, persist, exit 0.
+	ctx, stopSignals := cli.InterruptContext()
+	defer stopSignals()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "advisord: signal received, draining ...")
+	case <-srv.DrainRequested():
+		fmt.Fprintln(os.Stderr, "advisord: drain requested, draining ...")
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "advisord: drained")
+}

@@ -21,12 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 
 	"repro/internal/advisor/registry"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -80,8 +79,8 @@ func main() {
 	for i, name := range advisorList {
 		advisorList[i] = strings.TrimSpace(name)
 		if !registry.Valid(advisorList[i]) {
-			fmt.Fprintf(os.Stderr, "pipa-bench: unknown advisor %q (want one of %s or Heuristic)\n",
-				advisorList[i], strings.Join(registry.PaperAdvisors, ", "))
+			fmt.Fprintf(os.Stderr, "pipa-bench: unknown advisor %q (want one of %s)\n",
+				advisorList[i], strings.Join(registry.Names(), ", "))
 			os.Exit(2)
 		}
 	}
@@ -111,7 +110,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
 	// signal kills the process via the default handler (stop() reinstalls it).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.InterruptContext()
 	defer stop()
 
 	scale := experiments.ScaleFast
@@ -148,7 +147,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "pipa-bench: %d cells checkpointed to %s; rerun the same command to resume\n",
 					setup.Journal.Len(), *checkpoint)
 			}
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 		if err != nil {
 			fail(err)

@@ -17,11 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
+	"strings"
 
 	"repro/internal/advisor/registry"
+	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/guard"
@@ -64,7 +64,8 @@ func main() {
 	flag.Parse()
 
 	if !registry.Valid(*advisorName) {
-		fmt.Fprintf(os.Stderr, "pipa: unknown advisor %q\n", *advisorName)
+		fmt.Fprintf(os.Stderr, "pipa: unknown advisor %q (want one of %s)\n",
+			*advisorName, strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
 	if *report != "" {
@@ -93,7 +94,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
 	// signal kills the process via the default handler (stop() reinstalls it).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.InterruptContext()
 	defer stop()
 
 	scale := experiments.ScaleFast
@@ -211,7 +212,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "pipa: %d/%d runs checkpointed to %s; rerun the same command to resume\n",
 					journal.Len(), *runs, *checkpoint)
 			}
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 		fmt.Fprintln(os.Stderr, "pipa:", err)
 		os.Exit(2)

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/obs"
 	"repro/internal/qgen"
@@ -29,6 +30,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop generation with the conventional exit code (IABART
+	// training on a big corpus can take a while).
+	stop := cli.ExitOnInterrupt("qgen")
+	defer stop()
 
 	if *metricsAddr != "" {
 		bound, err := obs.StartServer(*metricsAddr, false)

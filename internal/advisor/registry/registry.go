@@ -6,6 +6,7 @@ package registry
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/advisor"
 	"repro/internal/advisor/bandit"
@@ -19,6 +20,30 @@ import (
 var PaperAdvisors = []string{
 	"DQN-b", "DQN-m", "DRLindex-b", "DRLindex-m",
 	"DBAbandit-b", "DBAbandit-m", "SWIRL",
+}
+
+// bases maps every base advisor name New accepts to whether it takes the
+// -b/-m variant suffix. Valid and Names derive from it, so the two can
+// never drift apart.
+var bases = map[string]bool{
+	"DQN": true, "DRLindex": true, "DBAbandit": true,
+	"SWIRL": false, "Heuristic": false,
+}
+
+// Names returns every advisor name New accepts, sorted lexicographically.
+// CLI usage and error text list it verbatim, so the output is deterministic
+// run-to-run (map iteration order is not).
+func Names() []string {
+	out := make([]string, 0, 2*len(bases))
+	for base, variants := range bases {
+		if variants {
+			out = append(out, base+"-b", base+"-m")
+		} else {
+			out = append(out, base)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // New builds the named advisor over the environment. The config's Variant is
@@ -58,11 +83,9 @@ func New(name string, env *advisor.Env, cfg advisor.Config) (advisor.Advisor, er
 // Valid reports whether New recognises the advisor name; CLI tools use it to
 // reject bad -advisors lists before any training starts.
 func Valid(name string) bool {
-	switch base, _ := splitVariant(name); base {
-	case "DQN", "DRLindex", "DBAbandit", "SWIRL", "Heuristic":
-		return true
-	}
-	return false
+	base, _ := splitVariant(name)
+	_, ok := bases[base]
+	return ok
 }
 
 func splitVariant(name string) (string, advisor.Variant) {

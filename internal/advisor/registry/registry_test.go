@@ -2,6 +2,8 @@ package registry
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/advisor"
@@ -32,6 +34,31 @@ func TestUnknownAdvisor(t *testing.T) {
 	env, _ := testSetup(t)
 	if _, err := New("Nope", env, fastConfig()); err == nil {
 		t.Error("want error for unknown advisor")
+	}
+}
+
+func TestNamesSortedAndDeterministic(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for i := 0; i < 20; i++ { // map iteration order must never leak through
+		again := Names()
+		if !reflect.DeepEqual(names, again) {
+			t.Fatalf("Names() unstable: %v vs %v", names, again)
+		}
+	}
+	for _, n := range names {
+		if !Valid(n) {
+			t.Errorf("Names() lists %q but Valid rejects it", n)
+		}
+	}
+	// Every paper variant plus the heuristic control must be listed.
+	want := append(append([]string(nil), PaperAdvisors...), "Heuristic")
+	for _, n := range want {
+		if i := sort.SearchStrings(names, n); i >= len(names) || names[i] != n {
+			t.Errorf("Names() missing %q: %v", n, names)
+		}
 	}
 }
 

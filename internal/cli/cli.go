@@ -1,0 +1,49 @@
+// Package cli holds the small pieces every binary in cmd/ shares, so
+// signal handling and exit conventions stay identical across tools instead
+// of drifting through copy-paste.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the conventional exit code for a run stopped by
+// SIGINT/SIGTERM (128 + SIGINT), shared by every binary.
+const ExitInterrupted = 130
+
+// exit is swapped out by tests; production code always calls os.Exit.
+var exit = os.Exit
+
+// InterruptContext returns a context cancelled on SIGINT or SIGTERM.
+// Cooperative binaries (pipa, pipa-bench, advisord) thread it through their
+// work and decide their own exit path when it fires. The returned stop
+// reinstalls the default handler, so a second signal kills the process.
+func InterruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitOnInterrupt is InterruptContext for binaries without cancellation
+// plumbing (advisor, qgen): the first SIGINT/SIGTERM prints "<name>:
+// interrupted" and exits ExitInterrupted immediately. The returned stop
+// uninstalls the handler (deferred in main, so a completed run exits 0).
+func ExitOnInterrupt(name string) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+			exit(ExitInterrupted)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

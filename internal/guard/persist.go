@@ -97,6 +97,29 @@ func (t *Trainer) persist() error {
 	return WriteFileAtomic(t.metaPath(), e.Seal(metaKind))
 }
 
+// Persist writes the current model snapshot and guard metadata to ModelDir
+// (a no-op without one). Commits persist automatically; this exported hook
+// is for the serving daemon's startup (so a just-trained model survives a
+// restart that happens before the first commit) and graceful drain.
+func (t *Trainer) Persist() error {
+	if t.cfg.ModelDir == "" {
+		return nil
+	}
+	return t.persist()
+}
+
+// ResumeLive is TryRestore for serving deployments: it restores the last
+// committed checkpoint but treats subsequent Retrain calls as brand-new
+// update attempts instead of replays of a recorded experiment timeline — a
+// daemon's post-restart traffic is new work, not a re-run of old batches.
+func (t *Trainer) ResumeLive() (bool, error) {
+	ok, err := t.TryRestore()
+	if ok {
+		t.resumeSkip = 0
+	}
+	return ok, err
+}
+
 // TryRestore resumes from the last committed checkpoint in ModelDir, if one
 // exists and is intact; it reports whether it restored. After a successful
 // restore the caller must NOT retrain from scratch: replay the original
@@ -163,6 +186,8 @@ func (t *Trainer) TryRestore() (bool, error) {
 
 // encode writes the quarantine's full state.
 func (q *Quarantine) encode(e *snap.Encoder) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	e.Uint64(q.next)
 	e.Uint64(q.evicted)
 	e.Uint64(uint64(len(q.entries)))

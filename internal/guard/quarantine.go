@@ -1,5 +1,7 @@
 package guard
 
+import "sync"
+
 // Entry is one quarantined query with the reason it was refused.
 type Entry struct {
 	Query  string
@@ -16,7 +18,11 @@ type Entry struct {
 // and position of first refusal win): toxic batches repeat across a
 // poisoning timeline, and a quarantine full of copies would evict the
 // distinct history the DBA wants to inspect.
+//
+// It is mutex-guarded and safe for concurrent use: the serving daemon's
+// inspection endpoint reads it while the trainer loop inserts.
 type Quarantine struct {
+	mu      sync.Mutex
 	cap     int
 	entries []Entry
 	present map[string]bool
@@ -35,6 +41,8 @@ func NewQuarantine(cap int) *Quarantine {
 // Add quarantines a query, reporting whether it created a new entry;
 // duplicates of a live entry are ignored.
 func (q *Quarantine) Add(query, reason string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.present[query] {
 		return false
 	}
@@ -50,15 +58,25 @@ func (q *Quarantine) Add(query, reason string) bool {
 }
 
 // Len returns the number of live entries.
-func (q *Quarantine) Len() int { return len(q.entries) }
+func (q *Quarantine) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
 
 // Cap returns the capacity.
 func (q *Quarantine) Cap() int { return q.cap }
 
 // Evicted returns how many entries the bound has dropped.
-func (q *Quarantine) Evicted() uint64 { return q.evicted }
+func (q *Quarantine) Evicted() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.evicted
+}
 
 // Entries returns the live entries oldest-first (copied).
 func (q *Quarantine) Entries() []Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return append([]Entry(nil), q.entries...)
 }

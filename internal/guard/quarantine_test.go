@@ -1,0 +1,140 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestQuarantineConcurrentCapacityBound inserts distinct queries from many
+// goroutines and checks the bound holds at every observation point, not just
+// at the end: a reader polling Len concurrently with the writers must never
+// see the buffer over capacity.
+func TestQuarantineConcurrentCapacityBound(t *testing.T) {
+	const capacity, writers, perWriter = 16, 8, 100
+	q := NewQuarantine(capacity)
+
+	done := make(chan struct{})
+	overCap := make(chan int, 1)
+	go func() { // concurrent reader: Len, Entries and Evicted must stay coherent
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n := q.Len(); n > capacity {
+				select {
+				case overCap <- n:
+				default:
+				}
+				return
+			}
+			q.Entries()
+			q.Evicted()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q.Add(fmt.Sprintf("SELECT %d FROM writer_%d", i, w), "concurrent-test")
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+
+	select {
+	case n := <-overCap:
+		t.Fatalf("reader observed %d live entries, cap is %d", n, capacity)
+	default:
+	}
+	if n := q.Len(); n != capacity {
+		t.Fatalf("Len after %d distinct inserts = %d, want cap %d", writers*perWriter, n, capacity)
+	}
+	const total = writers * perWriter
+	if ev := q.Evicted(); ev != total-capacity {
+		t.Fatalf("Evicted = %d, want %d", ev, total-capacity)
+	}
+}
+
+// TestQuarantineConcurrentEvictionOrder checks the FIFO invariant under
+// concurrent inserts: entries are always ordered by strictly increasing Seq,
+// the survivors are exactly the cap highest Seqs, and Seqs are dense (every
+// number in [0, inserts) was assigned exactly once).
+func TestQuarantineConcurrentEvictionOrder(t *testing.T) {
+	const capacity, writers, perWriter = 8, 6, 50
+	q := NewQuarantine(capacity)
+
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q.Add(fmt.Sprintf("SELECT %d FROM order_writer_%d", i, w), "order-test")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = writers * perWriter
+	entries := q.Entries()
+	if len(entries) != capacity {
+		t.Fatalf("got %d entries, want %d", len(entries), capacity)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq <= entries[i-1].Seq {
+			t.Fatalf("entries out of FIFO order: Seq %d at %d after Seq %d",
+				entries[i].Seq, i, entries[i-1].Seq)
+		}
+	}
+	// FIFO eviction keeps the newest cap insertions: Seqs [total-cap, total).
+	for i, en := range entries {
+		want := uint64(total - capacity + i)
+		if en.Seq != want {
+			t.Fatalf("entry %d has Seq %d, want %d (oldest should be evicted first)", i, en.Seq, want)
+		}
+	}
+}
+
+// TestQuarantineConcurrentDuplicates interleaves duplicate inserts from all
+// writers: each distinct text must be admitted exactly once while it is
+// live, so Add's reported admissions equal the distinct query count.
+func TestQuarantineConcurrentDuplicates(t *testing.T) {
+	const capacity, writers, distinct = 64, 8, 32
+	q := NewQuarantine(capacity)
+
+	added := make([]int, writers)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < distinct; i++ {
+				if q.Add(fmt.Sprintf("SELECT %d FROM shared", i), "dup-test") {
+					added[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range added {
+		total += n
+	}
+	if total != distinct {
+		t.Fatalf("writers admitted %d entries, want exactly %d (one per distinct text)", total, distinct)
+	}
+	if n := q.Len(); n != distinct {
+		t.Fatalf("Len = %d, want %d", n, distinct)
+	}
+	if ev := q.Evicted(); ev != 0 {
+		t.Fatalf("Evicted = %d, want 0 (never reached capacity)", ev)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health endpoints shared by every HTTP surface of the pipeline — the
+// metrics endpoint (StartServer) and the advisord serving daemon mount the
+// same two routes so probes never need per-binary conventions:
+//
+//	/healthz  liveness — always 200 while the process can answer at all
+//	/readyz   readiness — 200 when the readiness hook says so, else 503
+//
+// Liveness and readiness are deliberately split: a daemon draining or still
+// training is alive (do not restart it) but not ready (do not route to it).
+
+// readyHook is the process-wide readiness hook StartServer's /readyz
+// consults. Unset means ready: a bare metrics endpoint has no warm-up phase.
+var readyHook atomic.Pointer[func() bool]
+
+// SetReadyHook installs the process-wide readiness hook behind /readyz on
+// StartServer's mux. Passing nil reverts to always-ready. Long-running
+// daemons point it at their own readiness state at startup so the metrics
+// endpoint and the serving endpoint agree.
+func SetReadyHook(f func() bool) {
+	if f == nil {
+		readyHook.Store(nil)
+		return
+	}
+	readyHook.Store(&f)
+}
+
+// processReady evaluates the process-wide hook.
+func processReady() bool {
+	f := readyHook.Load()
+	return f == nil || (*f)()
+}
+
+// RegisterHealth mounts /healthz and /readyz on mux. ready may be nil for
+// always-ready; otherwise /readyz returns 200 when it reports true and 503
+// when it reports false.
+func RegisterHealth(mux *http.ServeMux, ready func() bool) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || ready() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+	})
+}

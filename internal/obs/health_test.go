@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestRegisterHealthHealthzAlways200(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterHealth(mux, func() bool { return false })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Liveness ignores readiness entirely: a draining daemon is alive.
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 %q", code, body, "ok\n")
+	}
+}
+
+func TestRegisterHealthReadyzFlips(t *testing.T) {
+	ready := false
+	mux := http.NewServeMux()
+	RegisterHealth(mux, func() bool { return ready })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while not ready = %d, want 503", code)
+	}
+	ready = true
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz while ready = %d %q, want 200 %q", code, body, "ready\n")
+	}
+	ready = false
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after flipping back = %d, want 503", code)
+	}
+}
+
+func TestRegisterHealthNilHookAlwaysReady(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterHealth(mux, nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with nil hook = %d, want 200", code)
+	}
+}
+
+func TestStartServerHealthConvention(t *testing.T) {
+	SetReadyHook(nil)
+	t.Cleanup(func() { SetReadyHook(nil) })
+
+	addr, err := StartServer("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	// Unset hook: ready by default.
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with no hook = %d, want 200", code)
+	}
+	SetReadyHook(func() bool { return false })
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with false hook = %d, want 503", code)
+	}
+	SetReadyHook(func() bool { return true })
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with true hook = %d, want 200", code)
+	}
+	// The metrics routes still work on the same mux.
+	if code, _ := get(t, "http://"+addr+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+}

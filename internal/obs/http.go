@@ -41,9 +41,12 @@ func (o *Observer) Handler() http.Handler {
 // StartServer exposes the Default observer on addr in a background
 // goroutine and returns the bound address (useful with ":0"). With
 // withPprof it additionally mounts net/http/pprof under /debug/pprof/.
+// /healthz and /readyz are always mounted; /readyz consults the hook
+// installed with SetReadyHook (always ready when unset).
 func StartServer(addr string, withPprof bool) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", Default.Handler())
+	RegisterHealth(mux, processReady)
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

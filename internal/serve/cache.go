@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+var (
+	cacheHits   = obs.GetCounter("serve_cache_hits_total")
+	cacheMisses = obs.GetCounter("serve_cache_misses_total")
+)
+
+// cacheEntry is one remembered answer: the recommendation, its estimated
+// cost reduction, and the model version that produced it. Served entries
+// may be stale relative to the published model — that is the point of the
+// cached tier: a fast, previously-correct answer beats shedding.
+type cacheEntry struct {
+	indexes   []cost.Index
+	reduction float64
+	version   uint64
+}
+
+// recCache is a bounded FIFO map from workload fingerprint to the last
+// full-tier answer for that workload. FIFO (not LRU) keeps eviction O(1)
+// and deterministic under test; at serving cache sizes the difference is
+// noise.
+type recCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[uint64]cacheEntry
+	order []uint64
+}
+
+func newRecCache(capacity int) *recCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &recCache{cap: capacity, m: make(map[uint64]cacheEntry, capacity)}
+}
+
+func (c *recCache) get(key uint64) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if ok {
+		cacheHits.Inc()
+	} else {
+		cacheMisses.Inc()
+	}
+	return e, ok
+}
+
+func (c *recCache) put(key uint64, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		c.m[key] = e // refresh in place; FIFO position unchanged
+		return
+	}
+	for len(c.m) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.m[key] = e
+	c.order = append(c.order, key)
+}
+
+func (c *recCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// workloadKey fingerprints a workload for cache lookup: FNV-1a over each
+// query's structural fingerprint and its frequency. Two requests with the
+// same query shapes and weights hit the same entry regardless of literal
+// formatting (Fingerprint already normalizes literals).
+func workloadKey(w *workload.Workload) uint64 {
+	h := fnv.New64a()
+	for i, q := range w.Queries {
+		h.Write([]byte(q.Fingerprint()))
+		h.Write([]byte{0})
+		h.Write([]byte(strconv.FormatFloat(w.Freqs[i], 'g', -1, 64)))
+		h.Write([]byte{1})
+	}
+	return h.Sum64()
+}

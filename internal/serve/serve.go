@@ -1,0 +1,700 @@
+// Package serve turns the guarded advisor stack into a long-running
+// overload-safe daemon (DESIGN.md §10). The server answers workload →
+// recommendation queries from an atomically-published model snapshot while
+// guard.Trainer retrains in the background, admits requests through a
+// bounded semaphore that sheds overload as fast 429s, and degrades through
+// an explicit ladder — full learned advisor → cached answer → heuristic
+// fallback — instead of queueing without bound.
+//
+// Concurrency shape: the advisors themselves are not concurrency-safe, so
+// all training goes through a single trainer goroutine fed by a bounded
+// update queue, and all serving goes through replica instances that restore
+// the published snapshot per request (see Model). The only cross-goroutine
+// artifacts are immutable snapshot blobs, the mutex-guarded caches, and obs
+// counters.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sync/atomic"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+// Serving counters. serve_admitted_total + serve_shed_total account for every
+// request that reached admission control; per-tier counters plus
+// serve_timeouts_total account for every admitted recommendation, so the two
+// families reconcile exactly against a load driver's request count.
+var (
+	admittedTotal  = obs.GetCounter("serve_admitted_total")
+	shedTotal      = obs.GetCounter("serve_shed_total")
+	timeoutsTotal  = obs.GetCounter("serve_timeouts_total")
+	drainingTotal  = obs.GetCounter("serve_draining_rejects_total")
+	inflightGauge  = obs.GetGauge("serve_inflight")
+	tierFull       = obs.GetCounter(obs.Name("serve_recommend_total", "tier", "full"))
+	tierCached     = obs.GetCounter(obs.Name("serve_recommend_total", "tier", "cached"))
+	tierHeuristic  = obs.GetCounter(obs.Name("serve_recommend_total", "tier", "heuristic"))
+	degradedCached = obs.GetCounter(obs.Name("serve_degraded_total", "tier", "cached"))
+	degradedHeur   = obs.GetCounter(obs.Name("serve_degraded_total", "tier", "heuristic"))
+	requestSeconds = obs.Default.Metrics.Histogram("serve_request_seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+)
+
+func updateOutcomeCounter(o string) *obs.Counter {
+	return obs.GetCounter(obs.Name("serve_updates_total", "outcome", o))
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Trainer is the guarded training instance every /v1/update routes
+	// through. It must already be trained (or restored); the initial serving
+	// snapshot is taken from it. The server owns it after NewServer: all
+	// further access happens on the trainer goroutine.
+	Trainer *guard.Trainer
+
+	// NewReplica builds one serving replica — a fresh advisor instance of
+	// the same kind as the trainer's inner advisor, able to Restore its
+	// snapshots. Called Replicas times.
+	NewReplica func() (advisor.Advisor, error)
+
+	// Fallback answers the heuristic tier. It must be safe for concurrent
+	// Recommend calls (the stock heuristic advisor is: it only reads the
+	// concurrency-safe what-if cache).
+	Fallback advisor.Advisor
+
+	// WhatIf estimates the cost reduction reported with each answer.
+	WhatIf *cost.WhatIf
+
+	// Schema resolves incoming SQL.
+	Schema *catalog.Schema
+
+	// QueueDepth bounds concurrently-admitted requests; excess load is shed
+	// with 429. Default 64.
+	QueueDepth int
+
+	// Replicas is the full-tier inference concurrency. Default 1.
+	Replicas int
+
+	// UpdateQueue bounds queued /v1/update batches. Default 4.
+	UpdateQueue int
+
+	// DefaultTimeout is the per-request deadline when the client sends none.
+	// Default 5s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps client-requested deadlines. Default 60s.
+	MaxTimeout time.Duration
+
+	// DegradeAfter is how long a request waits for a full-tier replica
+	// before falling down the ladder. Default DefaultTimeout/4.
+	DegradeAfter time.Duration
+
+	// CacheCap bounds the recommendation cache. Default 1024.
+	CacheCap int
+
+	// BreakerThreshold consecutive full-tier timeouts trip the tier breaker
+	// (requests then skip straight to the degraded tiers until
+	// BreakerCooldown elapses). Defaults 3 and 1s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.UpdateQueue <= 0 {
+		c.UpdateQueue = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = c.DefaultTimeout / 4
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 1024
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+}
+
+// RecommendRequest is the /v1/recommend (and /v1/update) request body.
+type RecommendRequest struct {
+	Queries   []string  `json:"queries"`
+	Freqs     []float64 `json:"freqs,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// RecommendResponse is the /v1/recommend answer.
+type RecommendResponse struct {
+	Indexes       []string `json:"indexes"`
+	DDL           []string `json:"ddl"`
+	CostReduction float64  `json:"cost_reduction"`
+	Tier          string   `json:"tier"`
+	ModelVersion  uint64   `json:"model_version"`
+}
+
+// UpdateResponse is the /v1/update answer: the guard's verdict on the batch.
+type UpdateResponse struct {
+	Outcome          string  `json:"outcome"`
+	CanaryRegression float64 `json:"canary_regression"`
+	GuardState       string  `json:"guard_state"`
+	ModelVersion     uint64  `json:"model_version"`
+	Quarantined      uint64  `json:"quarantined"`
+}
+
+// QuarantineResponse is the /v1/quarantine answer.
+type QuarantineResponse struct {
+	Cap     int               `json:"cap"`
+	Evicted uint64            `json:"evicted"`
+	Entries []QuarantineEntry `json:"entries"`
+}
+
+// QuarantineEntry mirrors guard.Entry for JSON.
+type QuarantineEntry struct {
+	Query  string `json:"query"`
+	Reason string `json:"reason"`
+	Seq    uint64 `json:"seq"`
+}
+
+// StatusResponse is the /v1/status answer.
+type StatusResponse struct {
+	Ready           bool        `json:"ready"`
+	Draining        bool        `json:"draining"`
+	ModelVersion    uint64      `json:"model_version"`
+	GuardState      string      `json:"guard_state"`
+	GuardStats      guard.Stats `json:"guard_stats"`
+	AdmissionInUse  int         `json:"admission_in_use"`
+	AdmissionCap    int         `json:"admission_cap"`
+	CacheEntries    int         `json:"cache_entries"`
+	QuarantineLen   int         `json:"quarantine_len"`
+	FullTierBreaker string      `json:"full_tier_breaker"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// guardView is the trainer-goroutine-owned guard state mirrored for the
+// status endpoint: handlers must not touch the Trainer directly.
+type guardView struct {
+	state string
+	stats guard.Stats
+}
+
+type updateResult struct {
+	outcome     guard.Outcome
+	regression  float64
+	state       guard.State
+	version     uint64
+	quarantined uint64
+	err         error
+}
+
+type updateJob struct {
+	ctx  context.Context
+	w    *workload.Workload
+	done chan updateResult // buffered; the trainer loop never blocks on it
+}
+
+// Server is the advisor-serving daemon. Build it with NewServer, serve via
+// Start (own listener) or Handler (embedding/tests), and stop it with Drain.
+type Server struct {
+	cfg       Config
+	model     *Model
+	cache     *recCache
+	admission *par.Limiter
+	breaker   *fault.Breaker
+	mux       *http.ServeMux
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	guardNow atomic.Pointer[guardView]
+
+	// updateMu lets Drain wait out handlers that are between the draining
+	// check and the queue send, so no update job is enqueued after the
+	// trainer loop has been told to stop.
+	updateMu    sync.RWMutex
+	updates     chan *updateJob
+	stopTrainer chan struct{}
+	trainerDone chan struct{}
+
+	drainReqOnce sync.Once
+	drainReq     chan struct{}
+	drainOnce    sync.Once
+	drainErr     error
+}
+
+// NewServer builds the daemon around an already-trained (or restored)
+// guard.Trainer, takes the initial serving snapshot from it, and starts the
+// trainer goroutine. The caller must eventually call Drain.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	if cfg.Trainer == nil || cfg.Fallback == nil || cfg.WhatIf == nil || cfg.Schema == nil || cfg.NewReplica == nil {
+		return nil, errors.New("serve: config needs Trainer, NewReplica, Fallback, WhatIf and Schema")
+	}
+	snapr, ok := cfg.Trainer.Inner().(advisor.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("serve: advisor %s does not implement Snapshotter", cfg.Trainer.Inner().Name())
+	}
+	blob, err := snapr.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
+	}
+	replicas := make([]advisor.Advisor, cfg.Replicas)
+	for i := range replicas {
+		if replicas[i], err = cfg.NewReplica(); err != nil {
+			return nil, fmt.Errorf("serve: build replica %d: %w", i, err)
+		}
+	}
+	model, err := NewModel(blob, replicas)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:         cfg,
+		model:       model,
+		cache:       newRecCache(cfg.CacheCap),
+		admission:   par.NewLimiter("serve_admission", cfg.QueueDepth),
+		breaker:     fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		updates:     make(chan *updateJob, cfg.UpdateQueue),
+		stopTrainer: make(chan struct{}),
+		trainerDone: make(chan struct{}),
+		drainReq:    make(chan struct{}),
+	}
+	s.storeGuardView()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/drain", s.handleDrain)
+	obs.RegisterHealth(s.mux, s.Ready)
+
+	go s.trainerLoop()
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler for embedding or tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether the daemon is accepting work (true between NewServer
+// and Drain). It is the /readyz check and suits obs.SetReadyHook.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Version returns the currently published model version.
+func (s *Server) Version() uint64 { return s.model.Version() }
+
+// Admission exposes the admission limiter (load drivers and tests introspect
+// it; handlers own acquire/release).
+func (s *Server) Admission() *par.Limiter { return s.admission }
+
+// DrainRequested is closed when a client POSTs /drain; the process main
+// selects on it alongside its signal context and then calls Drain.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainReq }
+
+// Start listens on addr and serves in a background goroutine, returning the
+// bound address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("serve: http: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Drain gracefully stops the daemon: flip readiness off, reject new work,
+// finish queued updates and in-flight requests, shut the listener down, and
+// persist the trainer's last committed state. Idempotent; bounded by ctx.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.ready.Store(false)
+	s.draining.Store(true)
+	// Barrier: wait out handlers holding the read lock mid-enqueue, so
+	// nothing lands on the queue after the stop signal.
+	s.updateMu.Lock()
+	s.updateMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	close(s.stopTrainer)
+	select {
+	case <-s.trainerDone:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: trainer loop still busy: %w", ctx.Err())
+	}
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("serve: drain: shutdown: %w", err)
+		}
+	}
+	// The trainer loop has exited, so touching the Trainer is safe again.
+	if err := s.cfg.Trainer.Persist(); err != nil {
+		return fmt.Errorf("serve: drain: persist: %w", err)
+	}
+	return nil
+}
+
+// storeGuardView publishes the trainer's state/stats for the status handler.
+// Called from the trainer goroutine (and once before it starts).
+func (s *Server) storeGuardView() {
+	s.guardNow.Store(&guardView{
+		state: s.cfg.Trainer.State().String(),
+		stats: s.cfg.Trainer.Stats(),
+	})
+}
+
+// trainerLoop is the single goroutine allowed to touch the guard.Trainer.
+// On stop it drains the queue first, so every handler already holding a slot
+// in it still gets an answer.
+func (s *Server) trainerLoop() {
+	defer close(s.trainerDone)
+	for {
+		select {
+		case job := <-s.updates:
+			s.runUpdate(job)
+		case <-s.stopTrainer:
+			for {
+				select {
+				case job := <-s.updates:
+					s.runUpdate(job)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) runUpdate(job *updateJob) {
+	if err := job.ctx.Err(); err != nil {
+		// The client's deadline expired while the job sat in the queue;
+		// skip the (expensive) retrain rather than training for nobody.
+		updateOutcomeCounter("expired").Inc()
+		job.done <- updateResult{err: err}
+		return
+	}
+	t := s.cfg.Trainer
+	t.Retrain(job.w)
+	out := t.LastOutcome()
+	st := t.Stats()
+	res := updateResult{
+		outcome:     out,
+		regression:  st.LastCanaryAD,
+		state:       t.State(),
+		quarantined: st.Quarantined,
+		version:     s.model.Version(),
+	}
+	if out == guard.Committed {
+		blob, err := t.Inner().(advisor.Snapshotter).Snapshot()
+		if err != nil {
+			res.err = fmt.Errorf("serve: snapshot committed model: %w", err)
+		} else {
+			res.version = s.model.Publish(blob)
+		}
+	}
+	updateOutcomeCounter(out.String()).Inc()
+	s.storeGuardView()
+	job.done <- res
+}
+
+// parseWorkload decodes and resolves a request body into a workload.
+func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request) (*workload.Workload, time.Duration, bool) {
+	var req RecommendRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return nil, 0, false
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "queries must be non-empty")
+		return nil, 0, false
+	}
+	if req.Freqs != nil && len(req.Freqs) != len(req.Queries) {
+		writeErr(w, http.StatusBadRequest, "freqs must match queries in length")
+		return nil, 0, false
+	}
+	wl := workload.New()
+	for i, src := range req.Queries {
+		q, err := sql.ParseResolved(src, s.cfg.Schema)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return nil, 0, false
+		}
+		f := 1.0
+		if req.Freqs != nil {
+			f = req.Freqs[i]
+		}
+		wl.Add(q, f)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return wl, timeout, true
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		drainingTotal.Inc()
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	wl, timeout, ok := s.parseWorkload(w, r)
+	if !ok {
+		return
+	}
+	// Admission control: a full queue sheds immediately — backpressure the
+	// client can act on beats a request parked in an unbounded queue.
+	if !s.admission.TryAcquire() {
+		shedTotal.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "over capacity, retry later")
+		return
+	}
+	admittedTotal.Inc()
+	inflightGauge.Add(1)
+	start := time.Now()
+	defer func() {
+		inflightGauge.Add(-1)
+		s.admission.Release()
+		requestSeconds.Observe(time.Since(start).Seconds())
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, err := s.recommend(ctx, wl)
+	if err != nil {
+		timeoutsTotal.Inc()
+		writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recommend walks the degradation ladder: full learned advisor (replica +
+// published snapshot, bounded by DegradeAfter and gated by the tier
+// breaker), then the fingerprint-keyed cache of previous full answers, then
+// the heuristic fallback. Every admitted request gets an answer unless its
+// own deadline expires first.
+func (s *Server) recommend(ctx context.Context, wl *workload.Workload) (*RecommendResponse, error) {
+	key := workloadKey(wl)
+
+	if s.breaker.Allow() {
+		degradeCtx, cancel := context.WithTimeout(ctx, s.cfg.DegradeAfter)
+		idx, ver, err := s.model.Recommend(degradeCtx, wl)
+		cancel()
+		if err == nil {
+			s.breaker.Success()
+			red := s.cfg.WhatIf.Reduction(wl.Queries, wl.Freqs, idx)
+			s.cache.put(key, cacheEntry{indexes: idx, reduction: red, version: ver})
+			tierFull.Inc()
+			return s.response(idx, red, "full", ver), nil
+		}
+		// Replica wait (or restore) failed: count it against the tier and
+		// fall down the ladder — unless the request's own deadline is gone.
+		s.breaker.Failure()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+
+	if e, ok := s.cache.get(key); ok {
+		degradedCached.Inc()
+		tierCached.Inc()
+		return s.response(e.indexes, e.reduction, "cached", e.version), nil
+	}
+
+	idx := s.cfg.Fallback.Recommend(wl)
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	red := s.cfg.WhatIf.Reduction(wl.Queries, wl.Freqs, idx)
+	degradedHeur.Inc()
+	tierHeuristic.Inc()
+	return s.response(idx, red, "heuristic", s.model.Version()), nil
+}
+
+func (s *Server) response(idx []cost.Index, red float64, tier string, ver uint64) *RecommendResponse {
+	resp := &RecommendResponse{
+		Indexes:       make([]string, 0, len(idx)),
+		DDL:           make([]string, 0, len(idx)),
+		CostReduction: red,
+		Tier:          tier,
+		ModelVersion:  ver,
+	}
+	for _, ix := range idx {
+		resp.Indexes = append(resp.Indexes, ix.Key())
+		resp.DDL = append(resp.DDL, fmt.Sprintf("CREATE INDEX ON %s;", ix.Key()))
+	}
+	return resp
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	wl, timeout, ok := s.parseWorkload(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	job := &updateJob{ctx: ctx, w: wl, done: make(chan updateResult, 1)}
+
+	// Enqueue under the read lock so Drain's barrier can wait us out; the
+	// draining check inside the lock makes "checked, then enqueued after the
+	// trainer stopped" impossible.
+	s.updateMu.RLock()
+	if s.draining.Load() {
+		s.updateMu.RUnlock()
+		drainingTotal.Inc()
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.updates <- job:
+		s.updateMu.RUnlock()
+	default:
+		s.updateMu.RUnlock()
+		shedTotal.Inc()
+		updateOutcomeCounter("shed").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "update queue full, retry later")
+		return
+	}
+	admittedTotal.Inc()
+
+	select {
+	case res := <-job.done:
+		if res.err != nil {
+			timeoutsTotal.Inc()
+			writeErr(w, http.StatusGatewayTimeout, res.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, &UpdateResponse{
+			Outcome:          res.outcome.String(),
+			CanaryRegression: res.regression,
+			GuardState:       res.state.String(),
+			ModelVersion:     res.version,
+			Quarantined:      res.quarantined,
+		})
+	case <-ctx.Done():
+		// The job stays queued and may still train and swap after this
+		// response; the client asked for a deadline, not a cancellation of
+		// durable state.
+		timeoutsTotal.Inc()
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded before the update was processed; it may still apply")
+	}
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := s.cfg.Trainer.Quarantine() // mutex-guarded; safe next to the trainer loop
+	entries := q.Entries()
+	resp := &QuarantineResponse{Cap: q.Cap(), Evicted: q.Evicted(), Entries: make([]QuarantineEntry, 0, len(entries))}
+	for _, e := range entries {
+		resp.Entries = append(resp.Entries, QuarantineEntry{Query: e.Query, Reason: e.Reason, Seq: e.Seq})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	gv := s.guardNow.Load()
+	writeJSON(w, http.StatusOK, &StatusResponse{
+		Ready:           s.ready.Load(),
+		Draining:        s.draining.Load(),
+		ModelVersion:    s.model.Version(),
+		GuardState:      gv.state,
+		GuardStats:      gv.stats,
+		AdmissionInUse:  s.admission.InUse(),
+		AdmissionCap:    s.admission.Cap(),
+		CacheEntries:    s.cache.len(),
+		QuarantineLen:   s.cfg.Trainer.Quarantine().Len(),
+		FullTierBreaker: s.breaker.State().String(),
+	})
+}
+
+// handleDrain only signals: the process main owns the actual Drain call, so
+// http.Shutdown never waits on the handler that triggered it.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.drainReqOnce.Do(func() { close(s.drainReq) })
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

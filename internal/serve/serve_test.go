@@ -1,0 +1,567 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sync/atomic"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/guard"
+	"repro/internal/workload"
+)
+
+// stubAdvisor is a deterministic snapshottable advisor for serving tests.
+// Its whole "model" is a version counter plus a poisoned flag: Retrain bumps
+// the version and poisons on a frequency marker (poisonFreq), and Recommend
+// answers with the column selected by the version — so a model swap, a
+// rollback, or a restore is directly observable in the recommendation.
+//
+// Instances are either owned by one goroutine at a time (training instance
+// on the trainer loop, replicas handed out by the model pool) or, for
+// fallback instances, never mutated — so no locking is needed.
+type stubAdvisor struct {
+	version  int64
+	poisoned bool
+	gate     chan struct{} // non-nil: each Recommend consumes one token
+	cols     []string
+}
+
+const poisonFreq = 666
+
+var stubCols = []string{"lineitem.l_partkey", "lineitem.l_shipdate", "lineitem.l_quantity"}
+
+func newStub(gate chan struct{}) *stubAdvisor {
+	return &stubAdvisor{gate: gate, cols: stubCols}
+}
+
+func (a *stubAdvisor) Name() string     { return "stub" }
+func (a *stubAdvisor) TrialBased() bool { return false }
+
+func (a *stubAdvisor) Train(w *workload.Workload) { a.version = 1; a.poisoned = false }
+
+func (a *stubAdvisor) Retrain(w *workload.Workload) {
+	a.version++
+	if len(w.Freqs) > 0 && w.Freqs[0] == poisonFreq {
+		a.poisoned = true
+	}
+}
+
+func (a *stubAdvisor) Recommend(w *workload.Workload) []cost.Index {
+	if a.gate != nil {
+		<-a.gate
+	}
+	return []cost.Index{cost.NewIndex(a.cols[int(a.version)%len(a.cols)])}
+}
+
+func (a *stubAdvisor) Snapshot() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d|%t", a.version, a.poisoned)), nil
+}
+
+func (a *stubAdvisor) Restore(b []byte) error {
+	parts := strings.SplitN(string(b), "|", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("stub: bad snapshot %q", b)
+	}
+	v, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return err
+	}
+	a.version = v
+	a.poisoned = parts[1] == "true"
+	return nil
+}
+
+var (
+	_ advisor.Advisor     = (*stubAdvisor)(nil)
+	_ advisor.Snapshotter = (*stubAdvisor)(nil)
+)
+
+// stubCanaryCost scripts the guard gate off the stub's poisoned flag: the
+// anchor (taken at Train, unpoisoned) is 1.0, so a poisoned model regresses
+// by 100% and a clean one by 0%.
+func stubCanaryCost(a advisor.Advisor) float64 {
+	if a.(*stubAdvisor).poisoned {
+		return 2.0
+	}
+	return 1.0
+}
+
+type testEnv struct {
+	srv     *Server
+	trainer *guard.Trainer
+	ts      *httptest.Server
+}
+
+// newTestServer wires a full daemon around stub advisors. gate, when
+// non-nil, makes every full-tier replica Recommend consume one token from it
+// — the lever the overload tests use to hold requests in flight. The
+// fallback stub is ungated unless the mutate hook replaces it.
+func newTestServer(t *testing.T, gate chan struct{}, mutate func(*Config), gcfg func(*guard.Config)) *testEnv {
+	t.Helper()
+	s := catalog.TPCH(1)
+	whatIf := cost.NewWhatIf(cost.NewModel(s))
+
+	training := newStub(nil)
+	gc := guard.Config{CanaryCost: stubCanaryCost}
+	if gcfg != nil {
+		gcfg(&gc)
+	}
+	trainer, err := guard.NewTrainer(training, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.Train(workload.New())
+
+	cfg := Config{
+		Trainer:    trainer,
+		NewReplica: func() (advisor.Advisor, error) { return newStub(gate), nil },
+		Fallback:   newStub(nil),
+		WhatIf:     whatIf,
+		Schema:     s,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return &testEnv{srv: srv, trainer: trainer, ts: ts}
+}
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Error(err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Error(err)
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, b
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+const oneQuery = `{"queries":["SELECT l_partkey FROM lineitem WHERE l_quantity > 30"]}`
+const otherQuery = `{"queries":["SELECT COUNT(*) FROM orders"]}`
+
+func TestRecommendFullTier(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+	code, body := postJSON(t, env.ts.URL+"/v1/recommend", oneQuery)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	var rr RecommendResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	// Trained stub is at version 1 → cols[1].
+	if rr.Tier != "full" || rr.ModelVersion != 1 {
+		t.Errorf("tier=%s version=%d, want full v1", rr.Tier, rr.ModelVersion)
+	}
+	if len(rr.Indexes) != 1 || rr.Indexes[0] != "lineitem(l_shipdate)" {
+		t.Errorf("indexes = %v, want [lineitem(l_shipdate)]", rr.Indexes)
+	}
+	if len(rr.DDL) != 1 || rr.DDL[0] != "CREATE INDEX ON lineitem(l_shipdate);" {
+		t.Errorf("ddl = %v", rr.DDL)
+	}
+	if rr.CostReduction < 0 || rr.CostReduction > 1 {
+		t.Errorf("cost reduction %f out of range", rr.CostReduction)
+	}
+}
+
+func TestRecommendBadRequests(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"no queries", `{"queries":[]}`},
+		{"freqs mismatch", `{"queries":["SELECT COUNT(*) FROM orders"],"freqs":[1,2]}`},
+		{"unparseable sql", `{"queries":["SELECT FROM WHERE"]}`},
+		{"unknown table", `{"queries":["SELECT x FROM nope"]}`},
+	}
+	for _, c := range cases {
+		code, body := postJSON(t, env.ts.URL+"/v1/recommend", c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (body %s)", c.name, code, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not well-formed: %s", c.name, body)
+		}
+	}
+	if code := getJSON(t, env.ts.URL+"/v1/recommend", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET recommend: status %d want 405", code)
+	}
+}
+
+func TestUpdateCommitSwapsModel(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+
+	code, body := postJSON(t, env.ts.URL+"/v1/update", oneQuery)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d, body %s", code, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Outcome != "committed" || ur.GuardState != "closed" || ur.ModelVersion != 2 {
+		t.Fatalf("update = %+v, want committed/closed/v2", ur)
+	}
+
+	// The swapped-in model (stub version 2) must now answer: cols[2].
+	code, body = postJSON(t, env.ts.URL+"/v1/recommend", oneQuery)
+	if code != http.StatusOK {
+		t.Fatalf("recommend status %d", code)
+	}
+	var rr RecommendResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ModelVersion != 2 || rr.Indexes[0] != "lineitem(l_quantity)" {
+		t.Errorf("after commit: version=%d indexes=%v, want v2 [lineitem(l_quantity)]", rr.ModelVersion, rr.Indexes)
+	}
+}
+
+func TestUpdatePoisonRollsBackAndQuarantines(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+	poison := fmt.Sprintf(`{"queries":["SELECT COUNT(*) FROM orders"],"freqs":[%d]}`, poisonFreq)
+	code, body := postJSON(t, env.ts.URL+"/v1/update", poison)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d, body %s", code, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Outcome != "rolled-back" {
+		t.Fatalf("outcome %s, want rolled-back", ur.Outcome)
+	}
+	if ur.CanaryRegression <= 0.02 {
+		t.Errorf("regression %f, want > budget", ur.CanaryRegression)
+	}
+	if ur.ModelVersion != 1 {
+		t.Errorf("model version %d after rollback, want 1 (no swap)", ur.ModelVersion)
+	}
+	if ur.Quarantined == 0 {
+		t.Error("poisoned batch not quarantined")
+	}
+
+	var qr QuarantineResponse
+	if code := getJSON(t, env.ts.URL+"/v1/quarantine", &qr); code != http.StatusOK {
+		t.Fatalf("quarantine status %d", code)
+	}
+	if len(qr.Entries) == 0 || !strings.Contains(qr.Entries[0].Reason, "canary-regression") {
+		t.Errorf("quarantine entries = %+v, want canary-regression reason", qr.Entries)
+	}
+}
+
+func TestUpdateQueueSheds(t *testing.T) {
+	// Park the trainer loop inside an update via a gated canary hook, fill
+	// the one-slot queue, and check the next update sheds with 429.
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var gateCalls atomic.Int64
+	env := newTestServer(t, nil, func(c *Config) {
+		c.UpdateQueue = 1
+	}, func(g *guard.Config) {
+		g.CanaryCost = func(a advisor.Advisor) float64 {
+			if gateCalls.Add(1) > 1 { // call 1 is the Train anchor
+				entered <- struct{}{}
+				<-release
+			}
+			return stubCanaryCost(a)
+		}
+	})
+
+	results := make(chan int, 2)
+	post := func() {
+		code, _ := postJSON(t, env.ts.URL+"/v1/update", oneQuery)
+		results <- code
+	}
+	go post()
+	<-entered // trainer is parked inside the first update; queue is empty
+	go post()
+	waitUntil(t, 5*time.Second, "second update queued", func() bool {
+		return len(env.srv.updates) == 1
+	})
+
+	code, body := postJSON(t, env.ts.URL+"/v1/update", oneQuery)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third update: status %d want 429 (body %s)", code, body)
+	}
+	close(release)
+	<-entered // second update reaches the canary too
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("parked update %d: status %d want 200", i, code)
+		}
+	}
+}
+
+func TestShedHasRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	env := newTestServer(t, gate, func(c *Config) {
+		c.QueueDepth = 1
+		c.DefaultTimeout = 30 * time.Second
+		c.DegradeAfter = 25 * time.Second
+	}, nil)
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		quietPost(env.ts.URL+"/v1/recommend", oneQuery)
+	}()
+	waitUntil(t, 5*time.Second, "slot held", func() bool { return env.srv.Admission().InUse() == 1 })
+
+	resp, err := http.Post(env.ts.URL+"/v1/recommend", "application/json", strings.NewReader(oneQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	gate <- struct{}{} // release the parked request
+	<-parked
+}
+
+// quietPost is postJSON for background goroutines that may outlive the test
+// body: it never touches testing.T.
+func quietPost(url, body string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func TestStatusAndHealthEndpoints(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+	var st StatusResponse
+	if code := getJSON(t, env.ts.URL+"/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	if !st.Ready || st.Draining || st.ModelVersion != 1 || st.GuardState != "closed" {
+		t.Errorf("status = %+v", st)
+	}
+	if st.AdmissionCap != 64 {
+		t.Errorf("admission cap %d, want default 64", st.AdmissionCap)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if code := getJSON(t, env.ts.URL+path, nil); code != http.StatusOK {
+			t.Errorf("%s: status %d want 200", path, code)
+		}
+	}
+}
+
+func TestDrainRejectsAndReportsNotReady(t *testing.T) {
+	env := newTestServer(t, nil, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := env.srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := getJSON(t, env.ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: status %d want 503", code)
+	}
+	if code, _ := postJSON(t, env.ts.URL+"/v1/recommend", oneQuery); code != http.StatusServiceUnavailable {
+		t.Errorf("recommend after drain: status %d want 503", code)
+	}
+	if code, _ := postJSON(t, env.ts.URL+"/v1/update", oneQuery); code != http.StatusServiceUnavailable {
+		t.Errorf("update after drain: status %d want 503", code)
+	}
+	// Idempotent.
+	if err := env.srv.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	gate := make(chan struct{})
+	env := newTestServer(t, gate, func(c *Config) {
+		c.DefaultTimeout = 30 * time.Second
+		c.DegradeAfter = 25 * time.Second // keep the request in the full tier
+	}, nil)
+
+	// Use a real listener: httptest.Server.Close does its own draining, but
+	// here Server.Drain has to be the thing that waits for in-flight work.
+	addr, err := env.srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	got := make(chan *RecommendResponse, 1)
+	go func() {
+		code, body := postJSON(t, base+"/v1/recommend", oneQuery)
+		if code != http.StatusOK {
+			t.Errorf("in-flight request: status %d body %s", code, body)
+			got <- nil
+			return
+		}
+		var rr RecommendResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Error(err)
+			got <- nil
+			return
+		}
+		got <- &rr
+	}()
+	waitUntil(t, 5*time.Second, "request in flight", func() bool {
+		return env.srv.Admission().InUse() == 1
+	})
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- env.srv.Drain(ctx)
+	}()
+	// Drain must not finish while the request is still gated.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) with a request in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	gate <- struct{}{} // let the in-flight request finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rr := <-got; rr == nil {
+		t.Fatal("in-flight request failed during drain")
+	} else if rr.Tier != "full" {
+		t.Errorf("in-flight tier %s, want full", rr.Tier)
+	}
+}
+
+func TestDegradationLadder(t *testing.T) {
+	gate := make(chan struct{})
+	env := newTestServer(t, gate, func(c *Config) {
+		c.Replicas = 1
+		c.DegradeAfter = 10 * time.Millisecond
+		c.DefaultTimeout = 30 * time.Second
+		c.BreakerThreshold = 100 // keep the full tier open throughout
+	}, nil)
+
+	// Prime the cache: one full-tier answer for oneQuery.
+	prime := make(chan []byte, 1)
+	go func() {
+		_, body := postJSON(t, env.ts.URL+"/v1/recommend", oneQuery)
+		prime <- body
+	}()
+	gate <- struct{}{}
+	var primed RecommendResponse
+	if err := json.Unmarshal(<-prime, &primed); err != nil {
+		t.Fatal(err)
+	}
+	if primed.Tier != "full" {
+		t.Fatalf("prime tier %s, want full", primed.Tier)
+	}
+
+	// Park the only replica with a different workload.
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		postJSON(t, env.ts.URL+"/v1/recommend", otherQuery)
+	}()
+	waitUntil(t, 5*time.Second, "replica parked", func() bool {
+		return env.srv.Admission().InUse() == 1
+	})
+	// The parked request holds the admission slot before it holds the
+	// replica; wait until the replica pool is actually empty.
+	waitUntil(t, 5*time.Second, "replica taken", func() bool {
+		return len(env.srv.model.replicas) == 0
+	})
+
+	// Replica busy + cache hit → cached tier, same answer as the prime.
+	code, body := postJSON(t, env.ts.URL+"/v1/recommend", oneQuery)
+	if code != http.StatusOK {
+		t.Fatalf("cached request: status %d body %s", code, body)
+	}
+	var cached RecommendResponse
+	if err := json.Unmarshal(body, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Tier != "cached" {
+		t.Fatalf("tier %s, want cached", cached.Tier)
+	}
+	if cached.Indexes[0] != primed.Indexes[0] || cached.ModelVersion != primed.ModelVersion {
+		t.Errorf("cached answer %+v differs from primed %+v", cached, primed)
+	}
+
+	// Replica busy + cache miss → heuristic tier (ungated fallback).
+	code, body = postJSON(t, env.ts.URL+"/v1/recommend",
+		`{"queries":["SELECT SUM(l_extendedprice) FROM lineitem"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("heuristic request: status %d body %s", code, body)
+	}
+	var heur RecommendResponse
+	if err := json.Unmarshal(body, &heur); err != nil {
+		t.Fatal(err)
+	}
+	if heur.Tier != "heuristic" {
+		t.Fatalf("tier %s, want heuristic", heur.Tier)
+	}
+
+	gate <- struct{}{} // release the parked request
+	<-parked
+}

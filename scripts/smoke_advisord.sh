@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Smoke-test the advisord serving daemon end to end: build, start, wait for
+# readiness, exercise every route, then SIGTERM and assert a clean drain
+# (exit 0). CI runs this on every push; it also works locally:
+#
+#   ./scripts/smoke_advisord.sh [port]
+#
+# Uses the Heuristic advisor so startup is instant; the HTTP surface, guard
+# routing, admission control and drain path are identical for every advisor.
+set -euo pipefail
+
+PORT="${1:-18930}"
+BASE="http://127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+BIN="${DIR}/advisord"
+LOG="${DIR}/advisord.log"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke_advisord: FAIL: $*" >&2; echo "--- daemon log:" >&2; cat "$LOG" >&2 || true; exit 1; }
+
+go build -o "$BIN" ./cmd/advisord
+
+"$BIN" -addr "127.0.0.1:${PORT}" -advisor Heuristic -n 8 -model-dir "${DIR}/models" 2>"$LOG" &
+PID=$!
+
+# Readiness must flip within 30s (Heuristic trains in milliseconds).
+ready=""
+for _ in $(seq 1 120); do
+    if curl -fsS "${BASE}/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    kill -0 "$PID" 2>/dev/null || fail "daemon died before becoming ready"
+    sleep 0.25
+done
+[ -n "$ready" ] || fail "/readyz never returned 200"
+
+# Liveness and the API surface.
+curl -fsS "${BASE}/healthz" | grep -q ok || fail "/healthz not ok"
+
+REC=$(curl -fsS -X POST "${BASE}/v1/recommend" \
+    -d '{"queries":["SELECT l_partkey FROM lineitem WHERE l_quantity > 30"]}') \
+    || fail "recommend request failed"
+echo "$REC" | grep -q '"tier"'          || fail "recommend answer missing tier: $REC"
+echo "$REC" | grep -q '"model_version"' || fail "recommend answer missing model_version: $REC"
+
+UPD=$(curl -fsS -X POST "${BASE}/v1/update" \
+    -d '{"queries":["SELECT COUNT(*) FROM orders"]}') \
+    || fail "update request failed"
+echo "$UPD" | grep -q '"outcome":"committed"' || fail "update not committed: $UPD"
+
+curl -fsS "${BASE}/v1/status"     | grep -q '"ready":true' || fail "status not ready"
+curl -fsS "${BASE}/v1/quarantine" | grep -q '"entries"'    || fail "quarantine endpoint broken"
+
+# Bad input must 400, not crash.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "${BASE}/v1/recommend" -d '{"queries":[]}')
+[ "$CODE" = "400" ] || fail "empty workload: got $CODE, want 400"
+
+# Graceful drain: SIGTERM → readyz flips 503 → process exits 0, model persisted.
+kill -TERM "$PID"
+if ! wait "$PID"; then fail "daemon exited non-zero on SIGTERM"; fi
+PID=""
+[ -f "${DIR}/models/Heuristic.model" ] || fail "no model persisted to -model-dir"
+
+echo "smoke_advisord: OK"
