@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln smoke serve
+.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln smoke serve obs
 
 all: fmt vet build test
 
@@ -40,9 +40,17 @@ serve:
 	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cli/...
 
 # smoke exercises the real advisord binary end to end: start, /readyz,
-# recommend + guarded update over HTTP, SIGTERM, clean drain (exit 0).
+# recommend + guarded update over HTTP, trace retention at /debug/traces,
+# SIGTERM, clean drain (exit 0) with a well-formed JSONL log and a report.
 smoke:
 	./scripts/smoke_advisord.sh
+
+# obs runs the observability layer in isolation under -race: the concurrent
+# trace/span tree, the flight recorder ring, the SLO burn windows, the JSONL
+# logger and the byte-deterministic Prometheus export (DESIGN.md §11).
+obs:
+	$(GO) vet -tags race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/cli/...
 
 # fuzz gives each fuzzer a short budget on top of its checked-in corpus —
 # a smoke pass, not a campaign (crank -fuzztime locally to hunt).

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/workload"
 )
 
@@ -31,7 +32,15 @@ func main() {
 	trajectories := flag.Int("trajectories", 120, "training trajectories")
 	seed := flag.Int64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logClose, err := logOpts.Apply("advisor")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = logClose() }()
 
 	// SIGINT/SIGTERM stop the (potentially long) training run with the
 	// conventional exit code.
@@ -39,18 +48,17 @@ func main() {
 	defer stop()
 
 	if !registry.Valid(*name) {
-		fmt.Fprintf(os.Stderr, "advisor: unknown advisor %q (want one of %s)\n",
-			*name, strings.Join(registry.Names(), ", "))
+		olog.Error(nil, "unknown advisor", "advisor", *name, "want", strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
 
 	if *metricsAddr != "" {
 		bound, err := obs.StartServer(*metricsAddr, false)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "advisor:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "advisor: serving metrics on http://%s/metrics\n", bound)
+		olog.Info(nil, "serving metrics", "url", "http://"+bound+"/metrics")
 	}
 
 	var s *catalog.Schema
@@ -60,7 +68,7 @@ func main() {
 	case "tpcds":
 		s = catalog.TPCDS(*sf)
 	default:
-		fmt.Fprintf(os.Stderr, "advisor: unknown benchmark %q\n", *benchmark)
+		olog.Error(nil, "unknown benchmark", "benchmark", *benchmark)
 		os.Exit(2)
 	}
 	w := cost.NewWhatIf(cost.NewModel(s))
@@ -70,7 +78,7 @@ func main() {
 	cfg.Seed = *seed
 	ia, err := registry.New(*name, env, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "advisor:", err)
+		olog.Error(nil, err.Error())
 		os.Exit(2)
 	}
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -53,16 +54,25 @@ func main() {
 	modelDir := flag.String("model-dir", "", "persist committed model snapshots here; restored on restart")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this extra address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus metrics) on this extra address")
+	traceAll := flag.Bool("trace-record-all", false, "retain every request trace in the flight recorder, not just anomalous ones")
+	reportPath := flag.String("report", "", "write the obs report (metrics + flight traces) here on drain")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "advisord:", err)
+		olog.Error(nil, err.Error())
 		os.Exit(1)
 	}
 
+	logClose, err := logOpts.Apply("advisord")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisord:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = logClose() }()
+
 	if !registry.Valid(*name) {
-		fmt.Fprintf(os.Stderr, "advisord: unknown advisor %q (want one of %s)\n",
-			*name, strings.Join(registry.Names(), ", "))
+		olog.Error(nil, "unknown advisor", "advisor", *name, "want", strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
 	var s *catalog.Schema
@@ -72,7 +82,7 @@ func main() {
 	case "tpcds":
 		s = catalog.TPCDS(*sf)
 	default:
-		fmt.Fprintf(os.Stderr, "advisord: unknown benchmark %q\n", *benchmark)
+		olog.Error(nil, "unknown benchmark", "benchmark", *benchmark)
 		os.Exit(2)
 	}
 
@@ -113,13 +123,13 @@ func main() {
 		fail(err)
 	}
 	if restored {
-		fmt.Fprintf(os.Stderr, "advisord: restored %s from %s\n", trainer.Name(), *modelDir)
+		olog.Info(nil, "restored model", "advisor", trainer.Name(), "model_dir", *modelDir)
 	} else {
 		nw := workload.GenerateNormal(s, workload.TemplatesFor(s), size, rand.New(rand.NewSource(*seed)))
-		fmt.Fprintf(os.Stderr, "advisord: training %s on %d queries of %s ...\n", trainer.Name(), nw.Len(), s.Name)
+		olog.Info(nil, "training from scratch", "advisor", trainer.Name(), "queries", nw.Len(), "schema", s.Name)
 		start := time.Now()
 		trainer.Train(nw)
-		fmt.Fprintf(os.Stderr, "advisord: trained in %s\n", time.Since(start).Round(time.Millisecond))
+		olog.Info(nil, "trained", "took", time.Since(start).Round(time.Millisecond).String())
 		if err := trainer.Persist(); err != nil {
 			fail(err)
 		}
@@ -139,6 +149,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		DegradeAfter:   *degradeAfter,
 		CacheCap:       *cacheCap,
+		TraceAll:       *traceAll,
 	})
 	if err != nil {
 		fail(err)
@@ -157,15 +168,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "advisord: serving metrics on http://%s/metrics\n", bound)
+		olog.Info(nil, "serving metrics", "url", "http://"+bound+"/metrics")
 	}
 
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "advisord: serving on http://%s (advisor %s, model v%d)\n",
-		bound, trainer.Name(), srv.Version())
+	olog.Info(nil, "serving", "url", "http://"+bound, "advisor", trainer.Name(), "model_version", srv.Version())
 
 	// Run until SIGINT/SIGTERM or a POST /drain, then drain gracefully:
 	// stop admitting, finish in-flight work, persist, exit 0.
@@ -173,14 +183,22 @@ func main() {
 	defer stopSignals()
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "advisord: signal received, draining ...")
+		olog.Info(nil, "signal received, draining")
 	case <-srv.DrainRequested():
-		fmt.Fprintln(os.Stderr, "advisord: drain requested, draining ...")
+		olog.Info(nil, "drain requested, draining")
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
 		fail(err)
 	}
-	fmt.Fprintln(os.Stderr, "advisord: drained")
+	if *reportPath != "" {
+		// The report carries the metric snapshot plus every retained flight
+		// trace — the post-incident forensics artifact.
+		if err := obs.Default.BuildReport("advisord", nil).WriteFile(*reportPath); err != nil {
+			fail(err)
+		}
+		olog.Info(nil, "report written", "path", *reportPath)
+	}
+	olog.Info(nil, "drained")
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 )
 
 // experimentIDs maps every accepted -exp value to the experiments it runs;
@@ -61,26 +62,32 @@ func main() {
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "pipa-bench:", err)
+		olog.Error(nil, err.Error())
 		os.Exit(1)
 	}
+
+	logClose, err := logOpts.Apply("pipa-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipa-bench:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = logClose() }()
 
 	// Validate flags before any training starts: a typo in -exp or -advisors
 	// should fail in milliseconds, not after minutes of setup.
 	if !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "pipa-bench: unknown experiment %q (want one of %s)\n",
-			*exp, strings.Join(experimentIDs, ", "))
+		olog.Error(nil, "unknown experiment", "exp", *exp, "want", strings.Join(experimentIDs, ", "))
 		os.Exit(2)
 	}
 	advisorList := strings.Split(*advisors, ",")
 	for i, name := range advisorList {
 		advisorList[i] = strings.TrimSpace(name)
 		if !registry.Valid(advisorList[i]) {
-			fmt.Fprintf(os.Stderr, "pipa-bench: unknown advisor %q (want one of %s)\n",
-				advisorList[i], strings.Join(registry.Names(), ", "))
+			olog.Error(nil, "unknown advisor", "advisor", advisorList[i], "want", strings.Join(registry.Names(), ", "))
 			os.Exit(2)
 		}
 	}
@@ -105,7 +112,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipa-bench: serving metrics on http://%s/metrics\n", bound)
+		olog.Info(nil, "serving metrics", "url", "http://"+bound+"/metrics")
 	}
 
 	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
@@ -131,7 +138,7 @@ func main() {
 		}
 		defer j.Close()
 		if n := j.Len(); n > 0 {
-			fmt.Fprintf(os.Stderr, "pipa-bench: resuming from %s (%d cells done)\n", *checkpoint, n)
+			olog.Info(nil, "resuming from checkpoint", "path", *checkpoint, "cells_done", fmt.Sprintf("%d", n))
 		}
 		setup.Journal = j
 	}
@@ -142,10 +149,10 @@ func main() {
 		r, err := f()
 		span.End()
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "pipa-bench: interrupted")
+			olog.Warn(nil, "interrupted")
 			if setup.Journal != nil {
-				fmt.Fprintf(os.Stderr, "pipa-bench: %d cells checkpointed to %s; rerun the same command to resume\n",
-					setup.Journal.Len(), *checkpoint)
+				olog.Info(nil, "cells checkpointed; rerun the same command to resume",
+					"done", fmt.Sprintf("%d", setup.Journal.Len()), "path", *checkpoint)
 			}
 			os.Exit(cli.ExitInterrupted)
 		}
@@ -230,7 +237,7 @@ func main() {
 		if err := obs.Default.BuildReport("pipa-bench", labels).WriteFile(*report); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipa-bench: wrote run report to %s\n", *report)
+		olog.Info(nil, "wrote run report", "path", *report)
 	}
 }
 

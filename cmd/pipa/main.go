@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/par"
 	"repro/internal/pipa"
 )
@@ -61,18 +62,25 @@ func main() {
 	report := flag.String("report", "", "write a JSON run report (phases, spans, metrics) to this path")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus the metrics endpoints) on this address")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
+	logClose, err := logOpts.Apply("pipa")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipa:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = logClose() }()
+
 	if !registry.Valid(*advisorName) {
-		fmt.Fprintf(os.Stderr, "pipa: unknown advisor %q (want one of %s)\n",
-			*advisorName, strings.Join(registry.Names(), ", "))
+		olog.Error(nil, "unknown advisor", "advisor", *advisorName, "want", strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
 	if *report != "" {
 		// Probe the path now: a typo'd -report should not cost a full run.
 		f, err := os.Create(*report)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pipa:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
 		f.Close()
@@ -86,10 +94,10 @@ func main() {
 		}
 		bound, err := obs.StartServer(srv.addr, srv.pprof)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pipa:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pipa: serving metrics on http://%s/metrics\n", bound)
+		olog.Info(nil, "serving metrics", "url", "http://"+bound+"/metrics")
 	}
 
 	// SIGINT/SIGTERM cancel the grid at the next cell boundary. A second
@@ -111,12 +119,12 @@ func main() {
 	if *checkpoint != "" {
 		j, err := experiments.OpenJournal(*checkpoint)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pipa:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
 		defer j.Close()
 		if n := j.Len(); n > 0 {
-			fmt.Fprintf(os.Stderr, "pipa: resuming from %s (%d cells done)\n", *checkpoint, n)
+			olog.Info(nil, "resuming from checkpoint", "path", *checkpoint, "cells_done", fmt.Sprintf("%d", n))
 		}
 		journal = j
 		setup.Journal = j
@@ -130,7 +138,7 @@ func main() {
 		}
 	}
 	if inj == nil {
-		fmt.Fprintf(os.Stderr, "pipa: unknown injector %q\n", *injector)
+		olog.Error(nil, "unknown injector", "injector", *injector)
 		os.Exit(2)
 	}
 
@@ -207,14 +215,14 @@ func main() {
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "pipa: interrupted")
+			olog.Warn(nil, "interrupted")
 			if journal != nil {
-				fmt.Fprintf(os.Stderr, "pipa: %d/%d runs checkpointed to %s; rerun the same command to resume\n",
-					journal.Len(), *runs, *checkpoint)
+				olog.Info(nil, "runs checkpointed; rerun the same command to resume",
+					"done", fmt.Sprintf("%d", journal.Len()), "total", fmt.Sprintf("%d", *runs), "path", *checkpoint)
 			}
 			os.Exit(cli.ExitInterrupted)
 		}
-		fmt.Fprintln(os.Stderr, "pipa:", err)
+		olog.Error(nil, err.Error())
 		os.Exit(2)
 	}
 	var ads []float64
@@ -265,9 +273,9 @@ func main() {
 			"benchmark": *benchmark, "sf": fmt.Sprintf("%g", *sf),
 		}
 		if err := obs.Default.BuildReport("pipa", labels).WriteFile(*report); err != nil {
-			fmt.Fprintln(os.Stderr, "pipa:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pipa: wrote run report to %s\n", *report)
+		olog.Info(nil, "wrote run report", "path", *report)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/qgen"
 )
 
@@ -29,7 +30,15 @@ func main() {
 	n := flag.Int("n", 3, "number of queries")
 	seed := flag.Int64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this address")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logClose, err := logOpts.Apply("qgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qgen:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = logClose() }()
 
 	// SIGINT/SIGTERM stop generation with the conventional exit code (IABART
 	// training on a big corpus can take a while).
@@ -39,10 +48,10 @@ func main() {
 	if *metricsAddr != "" {
 		bound, err := obs.StartServer(*metricsAddr, false)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qgen:", err)
+			olog.Error(nil, err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "qgen: serving metrics on http://%s/metrics\n", bound)
+		olog.Info(nil, "serving metrics", "url", "http://"+bound+"/metrics")
 	}
 
 	var s *catalog.Schema
@@ -52,7 +61,7 @@ func main() {
 	case "tpcds":
 		s = catalog.TPCDS(*sf)
 	default:
-		fmt.Fprintf(os.Stderr, "qgen: unknown benchmark %q\n", *benchmark)
+		olog.Error(nil, "unknown benchmark", "benchmark", *benchmark)
 		os.Exit(2)
 	}
 	w := cost.NewWhatIf(cost.NewModel(s))
@@ -64,7 +73,7 @@ func main() {
 		targets = strings.Split(*cols, ",")
 		for _, c := range targets {
 			if s.Column(c) == nil {
-				fmt.Fprintf(os.Stderr, "qgen: unknown column %q\n", c)
+				olog.Error(nil, "unknown column", "column", c)
 				os.Exit(2)
 			}
 		}
@@ -79,7 +88,7 @@ func main() {
 		}
 		q, err := g.Generate(ts, *reward, rng)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "qgen: %v\n", err)
+			olog.Warn(nil, "generate failed", "targets", strings.Join(ts, ","), "error", err.Error())
 			continue
 		}
 		opt, red, _ := qgen.OptimalSingleColumn(w, q)

@@ -5,10 +5,13 @@ package cli
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+
+	olog "repro/internal/obs/log"
 )
 
 // ExitInterrupted is the conventional exit code for a run stopped by
@@ -46,4 +49,52 @@ func ExitOnInterrupt(name string) (stop func()) {
 		signal.Stop(ch)
 		close(done)
 	}
+}
+
+// LogOpts holds the shared structured-logging flags every binary registers
+// via RegisterLogFlags, so -log-level/-log-file behave identically across
+// advisor, advisord, pipa, pipa-bench and qgen.
+type LogOpts struct {
+	// Level is the emission threshold: debug, info, warn or error.
+	Level string
+	// File is the JSONL destination; empty means stderr. The file is opened
+	// O_APPEND|O_CREATE, so restarts extend the log instead of truncating it.
+	File string
+}
+
+// RegisterLogFlags registers -log-level and -log-file on fs and returns the
+// options they fill. Call Apply after fs.Parse.
+func RegisterLogFlags(fs *flag.FlagSet) *LogOpts {
+	o := &LogOpts{}
+	fs.StringVar(&o.Level, "log-level", "info", "structured log threshold: debug, info, warn or error")
+	fs.StringVar(&o.File, "log-file", "", "structured JSONL log destination (default stderr)")
+	return o
+}
+
+// Apply retargets the Default logger per the parsed flags and stamps it with
+// the tool name. The returned closer flushes and closes the log file (a
+// no-op for stderr); defer it in main. A bad level or unopenable file is an
+// error — the caller decides whether to die or continue on stderr.
+func (o *LogOpts) Apply(tool string) (func() error, error) {
+	lvl, err := olog.ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	olog.Default.SetLevel(lvl)
+	olog.Default.SetTool(tool)
+	closer := func() error { return nil }
+	if o.File != "" {
+		f, err := os.OpenFile(o.File, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("cli: open log file: %w", err)
+		}
+		olog.Default.SetOutput(f)
+		closer = func() error {
+			// Point the logger back at stderr before the handle dies, so a
+			// late line after close never writes to a closed file.
+			olog.Default.SetOutput(os.Stderr)
+			return f.Close()
+		}
+	}
+	return closer, nil
 }

@@ -1,10 +1,16 @@
 package cli
 
 import (
+	"encoding/json"
+	"flag"
 	"os"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	olog "repro/internal/obs/log"
 )
 
 func TestInterruptContextCancelsOnSIGTERM(t *testing.T) {
@@ -61,5 +67,67 @@ func TestExitOnInterruptStopUninstalls(t *testing.T) {
 	case code := <-called:
 		t.Fatalf("exit(%d) fired without a signal", code)
 	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestLogOptsApply(t *testing.T) {
+	defer func() {
+		olog.Default.SetOutput(os.Stderr)
+		olog.Default.SetLevel(olog.LevelInfo)
+		olog.Default.SetTool("")
+	}()
+
+	fs := flag.NewFlagSet("clitest", flag.ContinueOnError)
+	o := RegisterLogFlags(fs)
+	path := filepath.Join(t.TempDir(), "run.log")
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	closer, err := o.Apply("clitest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	olog.Info(nil, "below threshold")
+	olog.Warn(nil, "kept", "k", "v")
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("log lines = %d, want 1: %q", len(lines), string(b))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("log line not JSON: %q: %v", lines[0], err)
+	}
+	if m["level"] != "warn" || m["tool"] != "clitest" || m["msg"] != "kept" || m["k"] != "v" {
+		t.Fatalf("line = %v", m)
+	}
+
+	// Reapplying with the same file appends instead of truncating.
+	closer2, err := o.Apply("clitest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	olog.Error(nil, "second run")
+	_ = closer2()
+	b, _ = os.ReadFile(path)
+	if got := len(strings.Split(strings.TrimSpace(string(b)), "\n")); got != 2 {
+		t.Fatalf("appended lines = %d, want 2: %q", got, string(b))
+	}
+}
+
+func TestLogOptsApplyErrors(t *testing.T) {
+	o := &LogOpts{Level: "loud"}
+	if _, err := o.Apply("clitest"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	o = &LogOpts{Level: "info", File: filepath.Join(t.TempDir(), "no", "such", "dir", "x.log")}
+	if _, err := o.Apply("clitest"); err == nil {
+		t.Fatal("unopenable file accepted")
 	}
 }

@@ -56,6 +56,7 @@ type Breaker struct {
 	state    BreakerState
 	failures int
 	openedAt time.Time
+	onChange func(from, to BreakerState)
 	trips    atomic.Int64
 }
 
@@ -75,21 +76,49 @@ func NewBreaker(threshold int, cooldown time.Duration, clock Clock) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
 }
 
+// OnTransition installs a hook called after every state change with the old
+// and new state. The hook runs outside the breaker's lock (it may log or
+// touch the breaker itself) but on the caller's goroutine, so keep it cheap.
+// Install before the breaker is shared; passing nil removes the hook.
+func (b *Breaker) OnTransition(f func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onChange = f
+	b.mu.Unlock()
+}
+
+// transitionLocked records a state change and returns the hook invocation to
+// run once the lock is released (nil when nothing changed or no hook).
+func (b *Breaker) transitionLocked(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if from == to || b.onChange == nil {
+		return nil
+	}
+	f := b.onChange
+	return func() { f(from, to) }
+}
+
 // Allow reports whether the protected call may proceed. In the open state it
 // returns false until the cooldown elapses, then admits one half-open trial.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return true
 	case BreakerOpen:
 		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
 			return false
 		}
-		b.state = BreakerHalfOpen
+		notify := b.transitionLocked(BreakerHalfOpen)
+		b.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
 		return true
 	default: // half-open: one trial is already in flight this period
+		b.mu.Unlock()
 		return false
 	}
 }
@@ -97,22 +126,29 @@ func (b *Breaker) Allow() bool {
 // Success reports a successful protected call, closing the breaker.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	notify := b.transitionLocked(BreakerClosed)
 	b.failures = 0
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // Failure reports a failed protected call; enough consecutive failures (or
 // any half-open failure) trip the breaker open.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	b.failures++
 	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.failures >= b.threshold) {
-		b.state = BreakerOpen
+		notify = b.transitionLocked(BreakerOpen)
 		b.openedAt = b.clock.Now()
 		b.trips.Add(1)
 		breakerTrips.Inc()
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -62,10 +63,15 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // identifies the call site for jitter derivation — pass a stable per-call
 // key so distinct calls jitter independently.
 //
+// When ctx carries a request-scoped trace span (obs.SpanFrom), every retry
+// and the final give-up are recorded on it as point events, so a trace shows
+// exactly how a degraded oracle call was fought for.
+//
 // The returned error is nil on success, ctx.Err() on cancellation, or the
 // last op error once attempts or budget run out.
 func Retry(ctx context.Context, pol RetryPolicy, name string, op func(attempt int) error) error {
 	pol = pol.withDefaults()
+	span := obs.SpanFrom(ctx)
 	var slept time.Duration
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
@@ -82,10 +88,12 @@ func Retry(ctx context.Context, pol RetryPolicy, name string, op func(attempt in
 		if slept+d > pol.Budget {
 			break // budget exhausted: don't start a sleep we can't afford
 		}
+		span.Event("fault:retry", "attempt", strconv.Itoa(attempt+1), "backoff", d.String())
 		pol.Clock.Sleep(d)
 		slept += d
 		retriesTotal.Inc()
 	}
+	span.Event("fault:giveup", "error", err.Error())
 	retryGiveupsTotal.Inc()
 	return err
 }

@@ -15,9 +15,11 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/advisor"
 	"repro/internal/cost"
@@ -260,6 +262,26 @@ func (t *Trainer) Train(w *workload.Workload) {
 // update applied, and the canary gate decides commit or rollback; the
 // outcome is retrievable via LastOutcome and Stats.
 func (t *Trainer) Retrain(w *workload.Workload) {
+	t.RetrainCtx(context.Background(), w)
+}
+
+// RetrainCtx is Retrain with trace correlation: when ctx carries a
+// request-scoped span (obs.SpanFrom), the transaction records a
+// "guard:retrain" child whose sub-spans mirror the phases — sanitize,
+// snapshot, update, canary, commit-or-rollback — annotated with the batch
+// size, canary regression, verdict, and resulting guard state. Untraced
+// callers pay one nil check.
+func (t *Trainer) RetrainCtx(ctx context.Context, w *workload.Workload) {
+	sp := obs.SpanFrom(ctx).StartChild("guard:retrain")
+	defer sp.End()
+	sp.Annotate("batch_queries", strconv.Itoa(w.Len()))
+	t.retrain(sp, w)
+	sp.Annotate("outcome", t.lastOut.String())
+	sp.Annotate("guard_state", t.state.String())
+}
+
+// retrain is the transaction body; sp may be nil (untraced).
+func (t *Trainer) retrain(sp *obs.TSpan, w *workload.Workload) {
 	t.calls++
 	if t.calls <= t.resumeSkip {
 		// This attempt is part of the restored checkpoint's history: its
@@ -278,9 +300,11 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 			frozenTotal.Inc()
 			t.quarantineBatch(w, "update-frozen")
 			t.lastOut = Frozen
+			sp.Event("guard:frozen", "frozen_left", strconv.Itoa(t.frozenLeft))
 			return
 		}
 		t.state = HalfOpen // cooldown elapsed: this attempt is the probe
+		sp.Event("guard:half-open-probe")
 	}
 
 	if !t.anchored {
@@ -291,6 +315,7 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 
 	clean := w
 	if t.cfg.Sanitizer != nil {
+		san := sp.StartChild("guard:sanitize")
 		screened, report := t.cfg.Sanitizer.Screen(w)
 		// report.Reasons is a map; quarantine in the batch's query order so
 		// the buffer's contents are deterministic.
@@ -300,6 +325,9 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 			}
 		}
 		clean = screened
+		san.Annotate("dropped", strconv.Itoa(w.Len()-clean.Len()))
+		san.Annotate("kept", strconv.Itoa(clean.Len()))
+		san.End()
 		if clean.Len() == 0 {
 			t.stats.Screened++
 			t.lastOut = Screened
@@ -307,16 +335,24 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 		}
 	}
 
+	snap := sp.StartChild("guard:snapshot")
 	pre, err := t.snapr.Snapshot()
+	snap.Annotate("bytes", strconv.Itoa(len(pre)))
+	snap.End()
 	if err != nil {
 		// Cannot make the update reversible: refuse it (fail safe).
 		t.stats.Frozen++
 		frozenTotal.Inc()
 		t.lastOut = Frozen
+		sp.Event("guard:snapshot-failed", "error", err.Error())
 		return
 	}
 
+	upd := sp.StartChild("guard:update")
 	t.inner.Retrain(clean)
+	upd.End()
+
+	can := sp.StartChild("guard:canary")
 	now := t.canaryCost()
 	regression := 0.0
 	if t.canaryBase > 0 {
@@ -324,16 +360,23 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 	}
 	t.stats.LastCanaryAD = regression
 	obs.Record(obs.Name("guard_canary_ad", "advisor", t.inner.Name()), regression)
+	can.Annotate("cost", strconv.FormatFloat(now, 'g', -1, 64))
+	can.Annotate("regression", strconv.FormatFloat(regression, 'g', -1, 64))
+	can.Annotate("budget", strconv.FormatFloat(t.cfg.Budget, 'g', -1, 64))
+	can.End()
 
 	if regression > t.cfg.Budget {
-		t.rollback(pre, clean, regression)
+		t.rollback(sp, pre, clean, regression)
 		return
 	}
-	t.commit()
+	t.commit(sp)
 }
 
 // rollback restores the pre-update snapshot and advances the guard state.
-func (t *Trainer) rollback(pre []byte, batch *workload.Workload, regression float64) {
+// sp may be nil (untraced).
+func (t *Trainer) rollback(sp *obs.TSpan, pre []byte, batch *workload.Workload, regression float64) {
+	rb := sp.StartChild("guard:rollback")
+	defer rb.End()
 	if err := t.snapr.Restore(pre); err != nil {
 		// The snapshot came from Snapshot() moments ago; failure here means
 		// memory corruption — nothing safe to continue with.
@@ -343,29 +386,34 @@ func (t *Trainer) rollback(pre []byte, batch *workload.Workload, regression floa
 	rollbacksTotal.Inc()
 	t.quarantineBatch(batch, fmt.Sprintf("canary-regression %.4f > budget %.4f", regression, t.cfg.Budget))
 	t.lastOut = RolledBack
+	rb.Annotate("quarantined", strconv.Itoa(batch.Len()))
 
 	switch t.state {
 	case HalfOpen:
-		t.trip() // failed probe: straight back to Open
+		t.trip(rb) // failed probe: straight back to Open
 	default:
 		t.consec++
 		if t.consec >= t.cfg.Threshold {
-			t.trip()
+			t.trip(rb)
 		}
 	}
 }
 
-// trip opens the guard.
-func (t *Trainer) trip() {
+// trip opens the guard. sp may be nil (untraced).
+func (t *Trainer) trip(sp *obs.TSpan) {
 	t.state = Open
 	t.frozenLeft = t.cfg.Cooldown
 	t.consec = 0
 	t.stats.Trips++
 	tripsTotal.Inc()
+	sp.Event("guard:trip", "cooldown", strconv.Itoa(t.cfg.Cooldown))
 }
 
 // commit accepts the update, closes the guard and persists the checkpoint.
-func (t *Trainer) commit() {
+// sp may be nil (untraced).
+func (t *Trainer) commit(sp *obs.TSpan) {
+	cm := sp.StartChild("guard:commit")
+	defer cm.End()
 	t.state = Closed
 	t.consec = 0
 	t.stats.Commits++

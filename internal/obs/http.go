@@ -13,7 +13,8 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  MetricsSnapshot as JSON
-//	/report        full Report (spans + metrics) as JSON
+//	/report        full Report (spans + metrics + flight traces) as JSON
+//	/debug/traces  flight-recorder dump (?trace=<id> for one record)
 //	/debug/vars    expvar (Go runtime memstats etc.)
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -34,6 +35,7 @@ func (o *Observer) Handler() http.Handler {
 		}
 		_, _ = w.Write(b)
 	})
+	mux.Handle("/debug/traces", o.Flight)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }

@@ -15,10 +15,12 @@ package obs
 
 import "time"
 
-// Observer bundles one metrics registry with one span tracer.
+// Observer bundles one metrics registry, one span tracer, and one flight
+// recorder for request-scoped traces.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Flight  *FlightRecorder
 }
 
 // New creates an observer. clock may be nil for wall time.
@@ -26,18 +28,25 @@ func New(clock Clock) *Observer {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(clock)}
+	return &Observer{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(clock),
+		Flight:  NewFlightRecorder(DefaultFlightCap),
+	}
 }
 
 // Default is the process-wide observer all instrumented packages feed.
 var Default = New(nil)
 
-// Reset zeroes every metric value and drops all recorded spans on the
-// Default observer. Registered metric objects survive, so cached handles
-// remain valid.
+// Reset zeroes every metric value, drops all recorded spans and flight
+// records on the Default observer, and rewinds the deterministic trace ID
+// sequence. Registered metric objects survive, so cached handles remain
+// valid.
 func Reset() {
 	Default.Metrics.Reset()
 	Default.Tracer.Reset()
+	Default.Flight.Reset()
+	ResetTraceIDs()
 }
 
 // GetCounter returns (registering if needed) a counter on the Default

@@ -26,6 +26,10 @@ type Report struct {
 	Phases  map[string]PhaseTime `json:"phases,omitempty"`
 	Spans   []*SpanSnapshot      `json:"spans,omitempty"`
 	Metrics *MetricsSnapshot     `json:"metrics,omitempty"`
+
+	// Traces is the flight recorder's dump at report time: every retained
+	// anomalous request trace, oldest first (DESIGN.md §11).
+	Traces []*FlightRecord `json:"traces,omitempty"`
 }
 
 // BuildReport snapshots the observer into a report. Phase names are span
@@ -37,6 +41,7 @@ func (o *Observer) BuildReport(tool string, labels map[string]string) *Report {
 		Labels:  labels,
 		Spans:   o.Tracer.Snapshot(),
 		Metrics: o.Metrics.Snapshot(),
+		Traces:  o.Flight.Records(),
 		Phases:  make(map[string]PhaseTime),
 	}
 	var walk func(spans []*SpanSnapshot)

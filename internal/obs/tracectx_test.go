@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceDeterministicIDs(t *testing.T) {
+	ResetTraceIDs()
+	a := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	b := NewTrace("update", NewFakeClock(time.Millisecond).Now)
+	ResetTraceIDs()
+	a2 := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	b2 := NewTrace("update", NewFakeClock(time.Millisecond).Now)
+	if a.ID() != a2.ID() || b.ID() != b2.ID() {
+		t.Fatalf("IDs not deterministic after reset: %s/%s vs %s/%s", a.ID(), b.ID(), a2.ID(), b2.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("successive traces share an ID: %s", a.ID())
+	}
+	if len(a.ID()) != 32 || !isLowerHex(a.ID()) {
+		t.Fatalf("trace ID not 32 lower hex digits: %q", a.ID())
+	}
+}
+
+func TestTraceSpanParentage(t *testing.T) {
+	ResetTraceIDs()
+	tr := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	root := tr.Root()
+	adm := root.StartChild("serve:admission")
+	adm.Annotate("admitted", "true")
+	adm.End()
+	full := root.StartChild("serve:tier-full")
+	infer := full.StartChild("serve:infer")
+	infer.End()
+	full.End()
+	tr.End()
+
+	snap := tr.Snapshot()
+	if snap.Root.Name != "recommend" || snap.Root.ParentID != "" {
+		t.Fatalf("root = %+v", snap.Root)
+	}
+	admSnap := FindTSpan(snap.Root, "serve:admission")
+	if admSnap == nil || admSnap.ParentID != snap.Root.SpanID {
+		t.Fatalf("admission parentage wrong: %+v under root %s", admSnap, snap.Root.SpanID)
+	}
+	if v, ok := admSnap.Attr("admitted"); !ok || v != "true" {
+		t.Fatalf("admission attr = %q, %v", v, ok)
+	}
+	fullSnap := FindTSpan(snap.Root, "serve:tier-full")
+	inferSnap := FindTSpan(snap.Root, "serve:infer")
+	if fullSnap == nil || inferSnap == nil || inferSnap.ParentID != fullSnap.SpanID {
+		t.Fatalf("infer parentage wrong: %+v under %+v", inferSnap, fullSnap)
+	}
+	// Span IDs are sequential per trace: root is 1, children follow in order.
+	if snap.Root.SpanID != "0000000000000001" || admSnap.SpanID != "0000000000000002" {
+		t.Fatalf("span IDs not sequential: root %s, admission %s", snap.Root.SpanID, admSnap.SpanID)
+	}
+}
+
+func TestTraceEndClosesOpenDescendants(t *testing.T) {
+	clock := NewFakeClock(time.Millisecond)
+	tr := NewTrace("update", clock.Now)
+	child := tr.Root().StartChild("guard:retrain")
+	_ = child.StartChild("guard:canary") // never explicitly ended
+	tr.End()
+	snap := tr.Snapshot()
+	for _, name := range []string{"update", "guard:retrain", "guard:canary"} {
+		s := FindTSpan(snap.Root, name)
+		if s == nil || s.DurUs < 0 {
+			t.Fatalf("span %q not closed by trace End: %+v", name, s)
+		}
+	}
+}
+
+func TestTraceEventZeroDuration(t *testing.T) {
+	tr := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	tr.Root().Event("serve:breaker-open", "state", "open")
+	tr.End()
+	ev := FindTSpan(tr.Snapshot().Root, "serve:breaker-open")
+	if ev == nil || ev.DurUs != 0 {
+		t.Fatalf("event = %+v, want zero-duration child", ev)
+	}
+	if v, _ := ev.Attr("state"); v != "open" {
+		t.Fatalf("event attr = %q", v)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ResetTraceIDs()
+	up := NewTrace("client", NewFakeClock(time.Millisecond).Now)
+	header := up.Traceparent()
+	down := NewTraceFrom("server", header, NewFakeClock(time.Millisecond).Now)
+	if down.ID() != up.ID() {
+		t.Fatalf("adopted trace ID %s, want %s", down.ID(), up.ID())
+	}
+	if down.Root().parentID != up.Root().ID() {
+		t.Fatalf("remote parent = %s, want %s", down.Root().parentID, up.Root().ID())
+	}
+	if !strings.HasPrefix(down.Traceparent(), "00-"+up.ID()+"-") {
+		t.Fatalf("echoed traceparent = %q", down.Traceparent())
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"garbage",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // bad version
+		"00-0123456789abcdef-0123456789abcdef-01",                 // short trace ID
+		"00-" + strings.Repeat("0", 32) + "-0123456789abcdef-01",  // zero trace ID
+		"00-0123456789abcdef0123456789abcdef-" + strings.Repeat("0", 16) + "-01",
+		"00-0123456789ABCDEF0123456789abcdef-0123456789abcdef-01", // upper hex
+	} {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+	tid, sid, ok := ParseTraceparent("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	if !ok || tid != "0123456789abcdef0123456789abcdef" || sid != "0123456789abcdef" {
+		t.Fatalf("valid header rejected: %q %q %v", tid, sid, ok)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	// Without a trace, StartSpanCtx is a no-op returning the same context.
+	ctx2, sp := StartSpanCtx(ctx, "noop")
+	if sp != nil || ctx2 != ctx {
+		t.Fatalf("untraced StartSpanCtx = %v, %v", ctx2, sp)
+	}
+	tr := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	ctx = ContextWithSpan(ctx, tr.Root())
+	ctx3, child := StartSpanCtx(ctx, "step")
+	if child == nil || SpanFrom(ctx3) != child || child.Trace() != tr {
+		t.Fatalf("traced StartSpanCtx lost the span")
+	}
+	if TraceCtxFrom(ctx3) != tr {
+		t.Fatal("TraceCtxFrom lost the trace")
+	}
+}
+
+func TestNilSpanNoops(t *testing.T) {
+	var s *TSpan
+	// Every method must be callable on nil without panicking.
+	s.End()
+	s.Annotate("k", "v")
+	s.Event("e")
+	if s.StartChild("c") != nil || s.Trace() != nil || s.ID() != "" {
+		t.Fatal("nil span produced non-nil results")
+	}
+	var tr *Trace
+	tr.Annotate("k", "v")
+	tr.MarkAnomaly("shed")
+	tr.End()
+	if tr.Anomalies() != nil || tr.Snapshot() != nil {
+		t.Fatal("nil trace produced non-nil results")
+	}
+}
+
+func TestTraceAnomaliesDedup(t *testing.T) {
+	tr := NewTrace("recommend", NewFakeClock(time.Millisecond).Now)
+	tr.MarkAnomaly("shed")
+	tr.MarkAnomaly("deadline")
+	tr.MarkAnomaly("shed")
+	got := tr.Anomalies()
+	if len(got) != 2 || got[0] != "shed" || got[1] != "deadline" {
+		t.Fatalf("anomalies = %v", got)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	// The HTTP handler and the trainer goroutine both grow one update trace;
+	// this must be race-free (run under -race in CI).
+	tr := NewTrace("update", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Root().StartChild("work")
+				sp.Annotate("k", "v")
+				sp.Event("tick")
+				sp.End()
+				tr.Annotate("a", "b")
+				tr.MarkAnomaly("shed")
+			}
+		}()
+	}
+	wg.Wait()
+	tr.End()
+	snap := tr.Snapshot()
+	if len(snap.Root.Children) != 800 {
+		t.Fatalf("children = %d, want 800", len(snap.Root.Children))
+	}
+}

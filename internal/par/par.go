@@ -14,6 +14,7 @@ package par
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,17 +120,25 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	// Label the workers for CPU/goroutine profiles, so a pprof capture
+	// attributes samples to the experiment phase (pool name) that spent them.
+	labels := pprof.Labels("pool", p.name)
+
 	if p.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return results, err
+		var err error
+		pprof.Do(ctx, labels, func(ctx context.Context) {
+			for i := 0; i < n; i++ {
+				if err = ctx.Err(); err != nil {
+					return
+				}
+				results[i], errs[i] = run(p, i, func(i int) (T, error) { return fn(ctx, i) })
+				if errs[i] != nil {
+					err = errs[i]
+					return
+				}
 			}
-			results[i], errs[i] = run(p, i, func(i int) (T, error) { return fn(ctx, i) })
-			if errs[i] != nil {
-				return results, errs[i]
-			}
-		}
-		return results, nil
+		})
+		return results, err
 	}
 
 	workers := p.workers
@@ -142,7 +151,7 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
-		go func() {
+		go pprof.Do(cctx, labels, func(cctx context.Context) {
 			defer wg.Done()
 			for cctx.Err() == nil {
 				i := int(next.Add(1)) - 1
@@ -155,7 +164,7 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 					return
 				}
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if err := firstError(errs); err != nil {

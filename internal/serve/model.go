@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"sync/atomic"
@@ -81,17 +82,30 @@ func (m *Model) Publish(blob []byte) uint64 {
 // answered.
 func (m *Model) Recommend(ctx context.Context, w *workload.Workload) ([]cost.Index, uint64, error) {
 	snap := m.cur.Load()
+	span := obs.SpanFrom(ctx)
+	wait := span.StartChild("serve:replica-wait")
 	select {
 	case rep := <-m.replicas:
+		wait.End()
 		defer func() { m.replicas <- rep }()
 		start := time.Now()
+		rst := span.StartChild("serve:restore")
 		if err := rep.(advisor.Snapshotter).Restore(snap.blob); err != nil {
+			rst.Annotate("error", err.Error())
+			rst.End()
 			return nil, 0, fmt.Errorf("serve: restore snapshot v%d: %w", snap.version, err)
 		}
+		rst.Annotate("version", strconv.FormatUint(snap.version, 10))
+		rst.End()
 		restoreSeconds.Observe(time.Since(start).Seconds())
 		restoresTotal.Inc()
-		return rep.Recommend(w), snap.version, nil
+		inf := span.StartChild("serve:infer")
+		idx := rep.Recommend(w)
+		inf.End()
+		return idx, snap.version, nil
 	case <-ctx.Done():
+		wait.Annotate("error", ctx.Err().Error())
+		wait.End()
 		return nil, 0, ctx.Err()
 	}
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/par"
 	"repro/internal/sql"
 	"repro/internal/workload"
@@ -52,9 +55,32 @@ var (
 	tierHeuristic  = obs.GetCounter(obs.Name("serve_recommend_total", "tier", "heuristic"))
 	degradedCached = obs.GetCounter(obs.Name("serve_degraded_total", "tier", "cached"))
 	degradedHeur   = obs.GetCounter(obs.Name("serve_degraded_total", "tier", "heuristic"))
-	requestSeconds = obs.Default.Metrics.Histogram("serve_request_seconds",
-		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	requestSeconds = obs.Default.Metrics.Histogram("serve_request_seconds", requestBuckets)
+
+	// Per-tier latency histograms (SLO layer, DESIGN.md §11): the ladder's
+	// whole point is that degraded answers are fast, so latency must be
+	// attributable per tier, not just in aggregate.
+	tierSecondsFull = obs.Default.Metrics.Histogram(
+		obs.Name("serve_tier_seconds", "tier", "full"), requestBuckets)
+	tierSecondsCached = obs.Default.Metrics.Histogram(
+		obs.Name("serve_tier_seconds", "tier", "cached"), requestBuckets)
+	tierSecondsHeur = obs.Default.Metrics.Histogram(
+		obs.Name("serve_tier_seconds", "tier", "heuristic"), requestBuckets)
 )
+
+var requestBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// tierLatency picks the per-tier histogram for an answered recommendation.
+func tierLatency(tier string) *obs.Histogram {
+	switch tier {
+	case "full":
+		return tierSecondsFull
+	case "cached":
+		return tierSecondsCached
+	default:
+		return tierSecondsHeur
+	}
+}
 
 func updateOutcomeCounter(o string) *obs.Counter {
 	return obs.GetCounter(obs.Name("serve_updates_total", "outcome", o))
@@ -113,6 +139,27 @@ type Config struct {
 	// BreakerCooldown elapses). Defaults 3 and 1s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Flight is the flight recorder anomalous request traces are retained
+	// in. Nil selects the Default observer's recorder, so the daemon's
+	// /debug/traces and the obs report see the same ring.
+	Flight *obs.FlightRecorder
+
+	// TraceAll retains every request trace in the flight recorder, not just
+	// anomalous ones (smoke tests and debugging; the ring stays bounded).
+	TraceAll bool
+
+	// SLO parameterizes the availability SLO whose burn rate gates /readyz;
+	// zero values select the obs defaults (99% objective, 1m/10m windows).
+	SLO obs.SLOConfig
+
+	// Clock drives request-trace timestamps and the SLO windows. Nil selects
+	// the wall clock; tests inject a fake for deterministic span durations.
+	Clock obs.Clock
+
+	// Logger receives the daemon's structured event log. Nil selects the
+	// process Default logger.
+	Logger *olog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -143,6 +190,12 @@ func (c *Config) applyDefaults() {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = time.Second
 	}
+	if c.Flight == nil {
+		c.Flight = obs.Default.Flight
+	}
+	if c.Logger == nil {
+		c.Logger = olog.Default
+	}
 }
 
 // RecommendRequest is the /v1/recommend (and /v1/update) request body.
@@ -159,6 +212,7 @@ type RecommendResponse struct {
 	CostReduction float64  `json:"cost_reduction"`
 	Tier          string   `json:"tier"`
 	ModelVersion  uint64   `json:"model_version"`
+	TraceID       string   `json:"trace_id"`
 }
 
 // UpdateResponse is the /v1/update answer: the guard's verdict on the batch.
@@ -168,6 +222,7 @@ type UpdateResponse struct {
 	GuardState       string  `json:"guard_state"`
 	ModelVersion     uint64  `json:"model_version"`
 	Quarantined      uint64  `json:"quarantined"`
+	TraceID          string  `json:"trace_id"`
 }
 
 // QuarantineResponse is the /v1/quarantine answer.
@@ -196,10 +251,15 @@ type StatusResponse struct {
 	CacheEntries    int         `json:"cache_entries"`
 	QuarantineLen   int         `json:"quarantine_len"`
 	FullTierBreaker string      `json:"full_tier_breaker"`
+	SLOFastBurn     float64     `json:"slo_fast_burn"`
+	SLOSlowBurn     float64     `json:"slo_slow_burn"`
+	SLOBreaching    bool        `json:"slo_breaching"`
+	FlightRetained  int         `json:"flight_retained"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // guardView is the trainer-goroutine-owned guard state mirrored for the
@@ -219,9 +279,10 @@ type updateResult struct {
 }
 
 type updateJob struct {
-	ctx  context.Context
-	w    *workload.Workload
-	done chan updateResult // buffered; the trainer loop never blocks on it
+	ctx   context.Context
+	w     *workload.Workload
+	qspan *obs.TSpan        // "serve:queue-wait", ended when the trainer dequeues
+	done  chan updateResult // buffered; the trainer loop never blocks on it
 }
 
 // Server is the advisor-serving daemon. Build it with NewServer, serve via
@@ -232,6 +293,9 @@ type Server struct {
 	cache     *recCache
 	admission *par.Limiter
 	breaker   *fault.Breaker
+	flight    *obs.FlightRecorder
+	slo       *obs.SLOTracker
+	logger    *olog.Logger
 	mux       *http.ServeMux
 
 	httpSrv *http.Server
@@ -288,11 +352,25 @@ func NewServer(cfg Config) (*Server, error) {
 		cache:       newRecCache(cfg.CacheCap),
 		admission:   par.NewLimiter("serve_admission", cfg.QueueDepth),
 		breaker:     fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		flight:      cfg.Flight,
+		slo:         obs.NewSLOTracker("serve_availability", cfg.SLO, cfg.Clock),
+		logger:      cfg.Logger,
 		updates:     make(chan *updateJob, cfg.UpdateQueue),
 		stopTrainer: make(chan struct{}),
 		trainerDone: make(chan struct{}),
 		drainReq:    make(chan struct{}),
 	}
+	if cfg.TraceAll {
+		s.flight.SetRecordAll(true)
+	}
+	s.breaker.OnTransition(func(from, to fault.BreakerState) {
+		lvl := olog.LevelWarn
+		if to == fault.BreakerClosed {
+			lvl = olog.LevelInfo
+		}
+		s.logger.Log(nil, lvl, "full-tier breaker transition",
+			"from", from.String(), "to", to.String())
+	})
 	s.storeGuardView()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
@@ -300,6 +378,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/quarantine", s.handleQuarantine)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/drain", s.handleDrain)
+	s.mux.Handle("/debug/traces", s.flight)
 	obs.RegisterHealth(s.mux, s.Ready)
 
 	go s.trainerLoop()
@@ -310,9 +389,18 @@ func NewServer(cfg Config) (*Server, error) {
 // Handler returns the daemon's HTTP handler for embedding or tests.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Ready reports whether the daemon is accepting work (true between NewServer
-// and Drain). It is the /readyz check and suits obs.SetReadyHook.
-func (s *Server) Ready() bool { return s.ready.Load() }
+// Ready reports whether the daemon is accepting work: true between NewServer
+// and Drain, unless the availability SLO is burning past both windows'
+// thresholds (a breaching daemon is alive but should not receive new
+// traffic). It is the /readyz check and suits obs.SetReadyHook.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.slo.Breaching() }
+
+// Flight returns the flight recorder this daemon retains anomalous request
+// traces in.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// SLO returns the availability SLO tracker gating /readyz.
+func (s *Server) SLO() *obs.SLOTracker { return s.slo }
 
 // Version returns the currently published model version.
 func (s *Server) Version() uint64 { return s.model.Version() }
@@ -359,6 +447,8 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 func (s *Server) drain(ctx context.Context) error {
+	s.logger.Info(ctx, "drain: stopping daemon",
+		"flight_retained", s.flight.Len(), "model_version", s.model.Version())
 	s.ready.Store(false)
 	s.draining.Store(true)
 	// Barrier: wait out handlers holding the read lock mid-enqueue, so
@@ -394,36 +484,43 @@ func (s *Server) storeGuardView() {
 
 // trainerLoop is the single goroutine allowed to touch the guard.Trainer.
 // On stop it drains the queue first, so every handler already holding a slot
-// in it still gets an answer.
+// in it still gets an answer. The goroutine is pprof-labeled so profile
+// samples spent retraining are attributable.
 func (s *Server) trainerLoop() {
 	defer close(s.trainerDone)
-	for {
-		select {
-		case job := <-s.updates:
-			s.runUpdate(job)
-		case <-s.stopTrainer:
-			for {
-				select {
-				case job := <-s.updates:
-					s.runUpdate(job)
-				default:
-					return
+	pprof.Do(context.Background(), pprof.Labels("loop", "guard-trainer"), func(context.Context) {
+		for {
+			select {
+			case job := <-s.updates:
+				s.runUpdate(job)
+			case <-s.stopTrainer:
+				for {
+					select {
+					case job := <-s.updates:
+						s.runUpdate(job)
+					default:
+						return
+					}
 				}
 			}
 		}
-	}
+	})
 }
 
 func (s *Server) runUpdate(job *updateJob) {
+	job.qspan.End() // dequeued: the queue wait is over
+	tr := obs.TraceCtxFrom(job.ctx)
 	if err := job.ctx.Err(); err != nil {
 		// The client's deadline expired while the job sat in the queue;
 		// skip the (expensive) retrain rather than training for nobody.
 		updateOutcomeCounter("expired").Inc()
+		tr.MarkAnomaly("deadline")
 		job.done <- updateResult{err: err}
 		return
 	}
 	t := s.cfg.Trainer
-	t.Retrain(job.w)
+	pre := t.Stats()
+	t.RetrainCtx(job.ctx, job.w)
 	out := t.LastOutcome()
 	st := t.Stats()
 	res := updateResult{
@@ -439,34 +536,60 @@ func (s *Server) runUpdate(job *updateJob) {
 			res.err = fmt.Errorf("serve: snapshot committed model: %w", err)
 		} else {
 			res.version = s.model.Publish(blob)
+			s.logger.Info(job.ctx, "update committed, model swapped",
+				"version", res.version, "regression", res.regression)
 		}
 	}
+	// Forensics: anomalous guard verdicts flag the trace for retention, and
+	// the verdict itself becomes a trace attribute the flight recorder keeps.
+	switch out {
+	case guard.RolledBack:
+		tr.MarkAnomaly("rollback")
+		s.logger.Warn(job.ctx, "update rolled back by canary gate",
+			"regression", res.regression, "guard_state", res.state.String())
+	case guard.Frozen:
+		tr.MarkAnomaly("frozen")
+		s.logger.Warn(job.ctx, "update frozen: guard open", "guard_state", res.state.String())
+	case guard.Screened:
+		tr.MarkAnomaly("quarantine")
+		s.logger.Warn(job.ctx, "update batch fully screened by sanitizer")
+	}
+	if st.Quarantined > pre.Quarantined {
+		tr.MarkAnomaly("quarantine")
+	}
+	if st.Trips > pre.Trips {
+		tr.MarkAnomaly("guard-trip")
+	}
+	tr.Annotate("outcome", out.String())
+	tr.Annotate("guard_state", res.state.String())
+	tr.Annotate("canary_regression", strconv.FormatFloat(res.regression, 'g', -1, 64))
 	updateOutcomeCounter(out.String()).Inc()
 	s.storeGuardView()
 	job.done <- res
 }
 
-// parseWorkload decodes and resolves a request body into a workload.
-func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request) (*workload.Workload, time.Duration, bool) {
+// parseWorkload decodes and resolves a request body into a workload. tr is
+// the request's trace; its ID rides along on error responses.
+func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request, tr *obs.Trace) (*workload.Workload, time.Duration, bool) {
 	var req RecommendRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), tr.ID())
 		return nil, 0, false
 	}
 	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, "queries must be non-empty")
+		writeErr(w, http.StatusBadRequest, "queries must be non-empty", tr.ID())
 		return nil, 0, false
 	}
 	if req.Freqs != nil && len(req.Freqs) != len(req.Queries) {
-		writeErr(w, http.StatusBadRequest, "freqs must match queries in length")
+		writeErr(w, http.StatusBadRequest, "freqs must match queries in length", tr.ID())
 		return nil, 0, false
 	}
 	wl := workload.New()
 	for i, src := range req.Queries {
 		q, err := sql.ParseResolved(src, s.cfg.Schema)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err), tr.ID())
 			return nil, 0, false
 		}
 		f := 1.0
@@ -487,24 +610,47 @@ func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request) (*workloa
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", "")
 		return
 	}
+	// Every request gets a trace, adopting the client's traceparent header
+	// when present; the flight recorder decides retention at the end.
+	tr := obs.NewTraceFrom("recommend", r.Header.Get("Traceparent"), s.cfg.Clock)
+	defer func() {
+		tr.End()
+		s.flight.Observe(tr)
+	}()
+	w.Header().Set("Traceparent", tr.Traceparent())
+	root := tr.Root()
+
 	if s.draining.Load() {
 		drainingTotal.Inc()
-		writeErr(w, http.StatusServiceUnavailable, "draining")
+		tr.MarkAnomaly("draining")
+		writeErr(w, http.StatusServiceUnavailable, "draining", tr.ID())
 		return
 	}
-	wl, timeout, ok := s.parseWorkload(w, r)
+	wl, timeout, ok := s.parseWorkload(w, r, tr)
 	if !ok {
 		return
 	}
+	tr.Annotate("workload_fp", fmt.Sprintf("%016x", workloadKey(wl)))
+	tr.Annotate("queries", strconv.Itoa(wl.Len()))
+
 	// Admission control: a full queue sheds immediately — backpressure the
 	// client can act on beats a request parked in an unbounded queue.
-	if !s.admission.TryAcquire() {
+	adm := root.StartChild("serve:admission")
+	admitted := s.admission.TryAcquire()
+	adm.Annotate("admitted", strconv.FormatBool(admitted))
+	adm.Annotate("in_use", strconv.Itoa(s.admission.InUse()))
+	adm.End()
+	if !admitted {
 		shedTotal.Inc()
+		tr.MarkAnomaly("shed")
+		s.slo.Observe(false)
+		s.logger.Warn(obs.ContextWithSpan(r.Context(), root),
+			"recommend shed: admission queue full", "cap", s.admission.Cap())
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "over capacity, retry later")
+		writeErr(w, http.StatusTooManyRequests, "over capacity, retry later", tr.ID())
 		return
 	}
 	admittedTotal.Inc()
@@ -518,12 +664,20 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx = obs.ContextWithSpan(ctx, root)
 	resp, err := s.recommend(ctx, wl)
 	if err != nil {
 		timeoutsTotal.Inc()
-		writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded: %v", err))
+		tr.MarkAnomaly("deadline")
+		s.slo.Observe(false)
+		s.logger.Warn(ctx, "recommend deadline exceeded", "error", err.Error())
+		writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded: %v", err), tr.ID())
 		return
 	}
+	resp.TraceID = tr.ID()
+	tr.Annotate("tier", resp.Tier)
+	tierLatency(resp.Tier).Observe(time.Since(start).Seconds())
+	s.slo.Observe(true)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -534,37 +688,57 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 // own deadline expires first.
 func (s *Server) recommend(ctx context.Context, wl *workload.Workload) (*RecommendResponse, error) {
 	key := workloadKey(wl)
+	span := obs.SpanFrom(ctx)
+	tr := span.Trace()
 
 	if s.breaker.Allow() {
+		full := span.StartChild("serve:tier-full")
 		degradeCtx, cancel := context.WithTimeout(ctx, s.cfg.DegradeAfter)
-		idx, ver, err := s.model.Recommend(degradeCtx, wl)
+		idx, ver, err := s.model.Recommend(obs.ContextWithSpan(degradeCtx, full), wl)
 		cancel()
 		if err == nil {
 			s.breaker.Success()
-			red := s.cfg.WhatIf.Reduction(wl.Queries, wl.Freqs, idx)
+			red := s.cfg.WhatIf.ReductionCtx(obs.ContextWithSpan(ctx, full), wl.Queries, wl.Freqs, idx)
+			full.Annotate("version", strconv.FormatUint(ver, 10))
+			full.End()
 			s.cache.put(key, cacheEntry{indexes: idx, reduction: red, version: ver})
 			tierFull.Inc()
 			return s.response(idx, red, "full", ver), nil
 		}
 		// Replica wait (or restore) failed: count it against the tier and
 		// fall down the ladder — unless the request's own deadline is gone.
+		full.Annotate("error", err.Error())
+		full.End()
+		trips := s.breaker.Trips()
 		s.breaker.Failure()
+		if s.breaker.Trips() > trips {
+			tr.MarkAnomaly("breaker-trip")
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+	} else {
+		span.Event("serve:breaker-open")
+		tr.MarkAnomaly("breaker-open")
 	}
 
 	if e, ok := s.cache.get(key); ok {
+		span.Event("serve:tier-cached", "version", strconv.FormatUint(e.version, 10))
+		tr.MarkAnomaly("degraded:cached")
 		degradedCached.Inc()
 		tierCached.Inc()
 		return s.response(e.indexes, e.reduction, "cached", e.version), nil
 	}
 
+	heur := span.StartChild("serve:tier-heuristic")
 	idx := s.cfg.Fallback.Recommend(wl)
 	if ctx.Err() != nil {
+		heur.End()
 		return nil, ctx.Err()
 	}
-	red := s.cfg.WhatIf.Reduction(wl.Queries, wl.Freqs, idx)
+	red := s.cfg.WhatIf.ReductionCtx(obs.ContextWithSpan(ctx, heur), wl.Queries, wl.Freqs, idx)
+	heur.End()
+	tr.MarkAnomaly("degraded:heuristic")
 	degradedHeur.Inc()
 	tierHeuristic.Inc()
 	return s.response(idx, red, "heuristic", s.model.Version()), nil
@@ -587,16 +761,31 @@ func (s *Server) response(idx []cost.Index, red float64, tier string, ver uint64
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", "")
 		return
 	}
-	wl, timeout, ok := s.parseWorkload(w, r)
+	tr := obs.NewTraceFrom("update", r.Header.Get("Traceparent"), s.cfg.Clock)
+	defer func() {
+		tr.End()
+		s.flight.Observe(tr)
+	}()
+	w.Header().Set("Traceparent", tr.Traceparent())
+	root := tr.Root()
+
+	wl, timeout, ok := s.parseWorkload(w, r, tr)
 	if !ok {
 		return
 	}
+	// The batch fingerprint is the forensic join key: the same hash the
+	// recommendation cache uses, stamped on the trace so a poisoned batch in
+	// the flight recorder is matchable against quarantine entries and logs.
+	tr.Annotate("batch_fp", fmt.Sprintf("%016x", workloadKey(wl)))
+	tr.Annotate("batch_queries", strconv.Itoa(wl.Len()))
+
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	job := &updateJob{ctx: ctx, w: wl, done: make(chan updateResult, 1)}
+	ctx = obs.ContextWithSpan(ctx, root)
+	job := &updateJob{ctx: ctx, w: wl, qspan: root.StartChild("serve:queue-wait"), done: make(chan updateResult, 1)}
 
 	// Enqueue under the read lock so Drain's barrier can wait us out; the
 	// draining check inside the lock makes "checked, then enqueued after the
@@ -605,7 +794,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.updateMu.RUnlock()
 		drainingTotal.Inc()
-		writeErr(w, http.StatusServiceUnavailable, "draining")
+		tr.MarkAnomaly("draining")
+		writeErr(w, http.StatusServiceUnavailable, "draining", tr.ID())
 		return
 	}
 	select {
@@ -615,8 +805,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.updateMu.RUnlock()
 		shedTotal.Inc()
 		updateOutcomeCounter("shed").Inc()
+		job.qspan.Annotate("shed", "true")
+		job.qspan.End()
+		tr.MarkAnomaly("shed")
+		s.slo.Observe(false)
+		s.logger.Warn(ctx, "update shed: queue full", "queue_cap", s.cfg.UpdateQueue)
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "update queue full, retry later")
+		writeErr(w, http.StatusTooManyRequests, "update queue full, retry later", tr.ID())
 		return
 	}
 	admittedTotal.Inc()
@@ -625,28 +820,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case res := <-job.done:
 		if res.err != nil {
 			timeoutsTotal.Inc()
-			writeErr(w, http.StatusGatewayTimeout, res.err.Error())
+			tr.MarkAnomaly("deadline")
+			s.slo.Observe(false)
+			writeErr(w, http.StatusGatewayTimeout, res.err.Error(), tr.ID())
 			return
 		}
+		s.slo.Observe(true)
 		writeJSON(w, http.StatusOK, &UpdateResponse{
 			Outcome:          res.outcome.String(),
 			CanaryRegression: res.regression,
 			GuardState:       res.state.String(),
 			ModelVersion:     res.version,
 			Quarantined:      res.quarantined,
+			TraceID:          tr.ID(),
 		})
 	case <-ctx.Done():
 		// The job stays queued and may still train and swap after this
 		// response; the client asked for a deadline, not a cancellation of
 		// durable state.
 		timeoutsTotal.Inc()
-		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded before the update was processed; it may still apply")
+		tr.MarkAnomaly("deadline")
+		s.slo.Observe(false)
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded before the update was processed; it may still apply", tr.ID())
 	}
 }
 
 func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, http.StatusMethodNotAllowed, "GET only", "")
 		return
 	}
 	q := s.cfg.Trainer.Quarantine() // mutex-guarded; safe next to the trainer loop
@@ -660,12 +861,13 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, http.StatusMethodNotAllowed, "GET only", "")
 		return
 	}
 	gv := s.guardNow.Load()
+	fast, slow := s.slo.Rates()
 	writeJSON(w, http.StatusOK, &StatusResponse{
-		Ready:           s.ready.Load(),
+		Ready:           s.Ready(),
 		Draining:        s.draining.Load(),
 		ModelVersion:    s.model.Version(),
 		GuardState:      gv.state,
@@ -675,6 +877,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:    s.cache.len(),
 		QuarantineLen:   s.cfg.Trainer.Quarantine().Len(),
 		FullTierBreaker: s.breaker.State().String(),
+		SLOFastBurn:     fast,
+		SLOSlowBurn:     slow,
+		SLOBreaching:    s.slo.Breaching(),
+		FlightRetained:  s.flight.Len(),
 	})
 }
 
@@ -682,7 +888,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // http.Shutdown never waits on the handler that triggered it.
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", "")
 		return
 	}
 	s.drainReqOnce.Do(func() { close(s.drainReq) })
@@ -695,6 +901,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+// writeErr emits the JSON error body; traceID ("" when the request never got
+// a trace) lets a client join a failure against /debug/traces.
+func writeErr(w http.ResponseWriter, code int, msg, traceID string) {
+	writeJSON(w, code, errorResponse{Error: msg, TraceID: traceID})
 }

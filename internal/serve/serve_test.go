@@ -19,6 +19,8 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/guard"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/workload"
 )
 
@@ -130,6 +132,10 @@ func newTestServer(t *testing.T, gate chan struct{}, mutate func(*Config), gcfg 
 		Fallback:   newStub(nil),
 		WhatIf:     whatIf,
 		Schema:     s,
+		// Per-test flight ring and a quiet logger, so parallel tests do not
+		// share the Default observer's recorder or spam stderr.
+		Flight: obs.NewFlightRecorder(0),
+		Logger: olog.New(io.Discard, olog.LevelError, nil),
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -162,6 +163,8 @@ func TestLiveRollbackUnderLoad(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("baseline: status %d body %s", code, baseline)
 	}
+	// Answers must be byte-identical modulo the per-request trace ID.
+	base := stripTraceID(baseline)
 
 	stop := make(chan struct{})
 	var (
@@ -187,7 +190,7 @@ func TestLiveRollbackUnderLoad(t *testing.T) {
 					firstDiff.CompareAndSwap(nil, &s)
 					continue
 				}
-				if string(body) != string(baseline) {
+				if stripTraceID(body) != base {
 					mismatches.Add(1)
 					s := string(body)
 					firstDiff.CompareAndSwap(nil, &s)
@@ -248,10 +251,18 @@ func TestLiveRollbackUnderLoad(t *testing.T) {
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.ModelVersion != 2 || string(body) == string(baseline) {
+	if rr.ModelVersion != 2 || stripTraceID(body) == base {
 		t.Errorf("post-commit answer did not change: %s", body)
 	}
 }
+
+// stripTraceID blanks the per-request trace_id field so answer bodies from
+// different requests can be compared for semantic identity.
+func stripTraceID(body []byte) string {
+	return traceIDField.ReplaceAllString(string(body), `"trace_id":""`)
+}
+
+var traceIDField = regexp.MustCompile(`"trace_id":"[0-9a-f]*"`)
 
 // TestPersistAndResume is the kill-and-resume contract: a committed update
 // persists under ModelDir at commit time, and a fresh daemon over the same

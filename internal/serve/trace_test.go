@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// getRecord fetches one retained trace via GET /debug/traces?trace=<id>.
+func getRecord(t *testing.T, base, traceID string) *obs.FlightRecord {
+	t.Helper()
+	var rec obs.FlightRecord
+	if code := getJSON(t, base+"/debug/traces?trace="+traceID, &rec); code != http.StatusOK {
+		t.Fatalf("trace %s not retained: status %d", traceID, code)
+	}
+	return &rec
+}
+
+func hasAnomaly(rec *obs.FlightRecord, kind string) bool {
+	for _, a := range rec.Anomalies {
+		if a == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFlightRecorderForensics is the acceptance test of the observability
+// layer: drive the daemon through a poisoned update that rolls back, a shed
+// recommend, and a degraded recommend, then assert the flight recorder holds
+// all three traces — correct span parentage, guard verdict, batch
+// fingerprint — and that every trace ID returned to a client resolves at
+// /debug/traces.
+func TestFlightRecorderForensics(t *testing.T) {
+	gate := make(chan struct{})     // full-tier replicas block here
+	fallGate := make(chan struct{}) // the heuristic fallback blocks here
+	env := newTestServer(t, gate, func(c *Config) {
+		c.QueueDepth = 2
+		c.Replicas = 1
+		c.DegradeAfter = 10 * time.Millisecond
+		c.DefaultTimeout = 30 * time.Second
+		c.BreakerThreshold = 100 // keep the full tier open throughout
+		c.Fallback = newStub(fallGate)
+	}, nil)
+	base := env.ts.URL
+
+	// --- 1. Poisoned update: the canary gate rolls it back. ---
+	poison := fmt.Sprintf(`{"queries":["SELECT COUNT(*) FROM orders"],"freqs":[%d]}`, poisonFreq)
+	code, body := postJSON(t, base+"/v1/update", poison)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d, body %s", code, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Outcome != "rolled-back" || ur.TraceID == "" {
+		t.Fatalf("update = %+v, want rolled-back with a trace ID", ur)
+	}
+
+	// --- 2. Prime the cache so the degraded request can hit the cached tier. ---
+	prime := make(chan []byte, 1)
+	go func() {
+		_, b := postJSON(t, base+"/v1/recommend", oneQuery)
+		prime <- b
+	}()
+	gate <- struct{}{}
+	var primed RecommendResponse
+	if err := json.Unmarshal(<-prime, &primed); err != nil {
+		t.Fatal(err)
+	}
+	if primed.Tier != "full" || primed.TraceID == "" {
+		t.Fatalf("prime = %+v, want full tier with a trace ID", primed)
+	}
+
+	// --- 3. Park the only replica, then send a cache-hit request: it degrades
+	// to the cached tier after DegradeAfter. ---
+	parkedFull := make(chan struct{})
+	go func() {
+		defer close(parkedFull)
+		quietPost(base+"/v1/recommend", otherQuery)
+	}()
+	waitUntil(t, 5*time.Second, "replica taken", func() bool {
+		return len(env.srv.model.replicas) == 0
+	})
+
+	code, body = postJSON(t, base+"/v1/recommend", oneQuery)
+	if code != http.StatusOK {
+		t.Fatalf("degraded request: status %d body %s", code, body)
+	}
+	var degraded RecommendResponse
+	if err := json.Unmarshal(body, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Tier != "cached" || degraded.TraceID == "" {
+		t.Fatalf("degraded = %+v, want cached tier with a trace ID", degraded)
+	}
+
+	// --- 4. Park a second request in the gated fallback (cache miss), filling
+	// both admission slots; the next request sheds. ---
+	parkedHeur := make(chan struct{})
+	go func() {
+		defer close(parkedHeur)
+		quietPost(base+"/v1/recommend", `{"queries":["SELECT SUM(l_extendedprice) FROM lineitem"]}`)
+	}()
+	waitUntil(t, 5*time.Second, "both slots held", func() bool {
+		return env.srv.Admission().InUse() == 2
+	})
+
+	code, body = postJSON(t, base+"/v1/recommend", oneQuery)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("shed request: status %d want 429 (body %s)", code, body)
+	}
+	var shedErr errorResponse
+	if err := json.Unmarshal(body, &shedErr); err != nil {
+		t.Fatal(err)
+	}
+	if shedErr.TraceID == "" {
+		t.Fatalf("shed error carries no trace ID: %s", body)
+	}
+
+	// Unpark everything before asserting.
+	close(fallGate)
+	<-parkedHeur
+	gate <- struct{}{}
+	<-parkedFull
+
+	// --- Forensics: all three anomalous traces are retained and resolvable. ---
+
+	// Rollback trace: root "update" with the queue wait and the guard
+	// transaction as children, the rollback under the retrain, the guard
+	// verdict and batch fingerprint as trace attributes.
+	rec := getRecord(t, base, ur.TraceID)
+	if !hasAnomaly(rec, "rollback") || !hasAnomaly(rec, "quarantine") {
+		t.Errorf("rollback trace anomalies = %v", rec.Anomalies)
+	}
+	if rec.Root.Name != "update" {
+		t.Errorf("rollback trace root = %q", rec.Root.Name)
+	}
+	if v, ok := rec.Attr("outcome"); !ok || v != "rolled-back" {
+		t.Errorf("guard verdict attr = %q, %v", v, ok)
+	}
+	if v, ok := rec.Attr("batch_fp"); !ok || len(v) != 16 {
+		t.Errorf("batch_fp attr = %q, %v", v, ok)
+	}
+	if _, ok := rec.Attr("canary_regression"); !ok {
+		t.Error("canary_regression attr missing")
+	}
+	qw := obs.FindTSpan(rec.Root, "serve:queue-wait")
+	if qw == nil || qw.ParentID != rec.Root.SpanID {
+		t.Errorf("serve:queue-wait not a child of the root: %+v", qw)
+	}
+	retrain := obs.FindTSpan(rec.Root, "guard:retrain")
+	if retrain == nil || retrain.ParentID != rec.Root.SpanID {
+		t.Fatalf("guard:retrain not a child of the root: %+v", retrain)
+	}
+	for _, name := range []string{"guard:snapshot", "guard:update", "guard:canary", "guard:rollback"} {
+		sp := obs.FindTSpan(retrain, name)
+		if sp == nil || sp.ParentID != retrain.SpanID {
+			t.Errorf("%s not a child of guard:retrain: %+v", name, sp)
+		}
+	}
+
+	// Shed trace: root "recommend" with an unadmitted admission span.
+	rec = getRecord(t, base, shedErr.TraceID)
+	if !hasAnomaly(rec, "shed") {
+		t.Errorf("shed trace anomalies = %v", rec.Anomalies)
+	}
+	adm := obs.FindTSpan(rec.Root, "serve:admission")
+	if adm == nil || adm.ParentID != rec.Root.SpanID {
+		t.Fatalf("serve:admission not a child of the root: %+v", adm)
+	}
+	if v, _ := adm.Attr("admitted"); v != "false" {
+		t.Errorf("shed admission attr = %q, want false", v)
+	}
+
+	// Degraded trace: full tier failed (replica busy), cached tier answered.
+	rec = getRecord(t, base, degraded.TraceID)
+	if !hasAnomaly(rec, "degraded:cached") {
+		t.Errorf("degraded trace anomalies = %v", rec.Anomalies)
+	}
+	if v, _ := rec.Attr("tier"); v != "cached" {
+		t.Errorf("degraded tier attr = %q", v)
+	}
+	full := obs.FindTSpan(rec.Root, "serve:tier-full")
+	if full == nil || full.ParentID != rec.Root.SpanID {
+		t.Fatalf("serve:tier-full not a child of the root: %+v", full)
+	}
+	if _, ok := full.Attr("error"); !ok {
+		t.Error("failed full tier carries no error attr")
+	}
+	if cachedEv := obs.FindTSpan(rec.Root, "serve:tier-cached"); cachedEv == nil {
+		t.Error("serve:tier-cached event missing")
+	}
+	if wait := obs.FindTSpan(full, "serve:replica-wait"); wait == nil || wait.ParentID != full.SpanID {
+		t.Errorf("serve:replica-wait not under serve:tier-full: %+v", wait)
+	}
+
+	// The clean full-tier prime was NOT retained: the ring is anomaly-gated.
+	var dump struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if code := getJSON(t, base+"/debug/traces", &dump); code != http.StatusOK {
+		t.Fatalf("dump status %d", code)
+	}
+	for _, rec := range dump.Traces {
+		if rec.TraceID == primed.TraceID {
+			t.Error("clean trace retained without record-all")
+		}
+	}
+}
+
+// TestTraceparentAdoption checks the daemon joins an incoming traceparent:
+// the response echoes the caller's trace ID and the retained trace's root is
+// parented on the caller's span.
+func TestTraceparentAdoption(t *testing.T) {
+	env := newTestServer(t, nil, func(c *Config) { c.TraceAll = true }, nil)
+
+	const parent = "00-00000000000000000000000000abc123-000000000000d00d-01"
+	req, err := http.NewRequest("POST", env.ts.URL+"/v1/recommend", strings.NewReader(oneQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RecommendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.TraceID != "00000000000000000000000000abc123" {
+		t.Fatalf("trace ID = %s, want the caller's", rr.TraceID)
+	}
+	echoed := resp.Header.Get("Traceparent")
+	if !strings.HasPrefix(echoed, "00-00000000000000000000000000abc123-") {
+		t.Fatalf("echoed traceparent = %q", echoed)
+	}
+
+	// With record-all on, even this clean request is retained, parented on
+	// the remote span.
+	rec := getRecord(t, env.ts.URL, rr.TraceID)
+	if rec.Root.ParentID != "000000000000d00d" {
+		t.Fatalf("root parent = %s, want the caller's span", rec.Root.ParentID)
+	}
+}
+
+// TestStatusReportsSLOAndFlight checks the status endpoint surfaces the new
+// observability fields.
+func TestStatusReportsSLOAndFlight(t *testing.T) {
+	env := newTestServer(t, nil, func(c *Config) { c.TraceAll = true }, nil)
+	if code, _ := postJSON(t, env.ts.URL+"/v1/recommend", oneQuery); code != http.StatusOK {
+		t.Fatalf("recommend status %d", code)
+	}
+	var st StatusResponse
+	if code := getJSON(t, env.ts.URL+"/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	if st.FlightRetained != 1 {
+		t.Errorf("flight_retained = %d, want 1", st.FlightRetained)
+	}
+	if st.SLOBreaching {
+		t.Error("slo breaching after one good request")
+	}
+}

@@ -14,6 +14,8 @@ BASE="http://127.0.0.1:${PORT}"
 DIR="$(mktemp -d)"
 BIN="${DIR}/advisord"
 LOG="${DIR}/advisord.log"
+JSONL="${DIR}/advisord.jsonl"
+REPORT="${DIR}/report.json"
 
 cleanup() {
     [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true
@@ -25,7 +27,10 @@ fail() { echo "smoke_advisord: FAIL: $*" >&2; echo "--- daemon log:" >&2; cat "$
 
 go build -o "$BIN" ./cmd/advisord
 
-"$BIN" -addr "127.0.0.1:${PORT}" -advisor Heuristic -n 8 -model-dir "${DIR}/models" 2>"$LOG" &
+# Tracing on (retain every request in the flight recorder), structured log
+# to a JSONL file, forensics report dumped on drain.
+"$BIN" -addr "127.0.0.1:${PORT}" -advisor Heuristic -n 8 -model-dir "${DIR}/models" \
+    -trace-record-all -log-file "$JSONL" -report "$REPORT" 2>"$LOG" &
 PID=$!
 
 # Readiness must flip within 30s (Heuristic trains in milliseconds).
@@ -45,6 +50,22 @@ REC=$(curl -fsS -X POST "${BASE}/v1/recommend" \
     || fail "recommend request failed"
 echo "$REC" | grep -q '"tier"'          || fail "recommend answer missing tier: $REC"
 echo "$REC" | grep -q '"model_version"' || fail "recommend answer missing model_version: $REC"
+echo "$REC" | grep -q '"trace_id"'      || fail "recommend answer missing trace_id: $REC"
+
+# The returned trace ID must resolve at the flight recorder.
+TRACE_ID=$(echo "$REC" | sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$TRACE_ID" ] || fail "could not extract trace_id from: $REC"
+curl -fsS "${BASE}/debug/traces?trace=${TRACE_ID}" | grep -q '"span_id"' \
+    || fail "trace ${TRACE_ID} not retained at /debug/traces"
+
+# The daemon echoes a caller's traceparent header.
+PARENT="00-00000000000000000000000000abc123-000000000000d00d-01"
+ECHOED=$(curl -fsS -D - -o /dev/null -X POST "${BASE}/v1/recommend" \
+    -H "Traceparent: ${PARENT}" \
+    -d '{"queries":["SELECT COUNT(*) FROM orders"]}' | tr -d '\r' \
+    | sed -n 's/^[Tt]raceparent: //p')
+echo "$ECHOED" | grep -q "00-00000000000000000000000000abc123-" \
+    || fail "traceparent not adopted: got ${ECHOED:-<none>}"
 
 UPD=$(curl -fsS -X POST "${BASE}/v1/update" \
     -d '{"queries":["SELECT COUNT(*) FROM orders"]}') \
@@ -53,6 +74,11 @@ echo "$UPD" | grep -q '"outcome":"committed"' || fail "update not committed: $UP
 
 curl -fsS "${BASE}/v1/status"     | grep -q '"ready":true' || fail "status not ready"
 curl -fsS "${BASE}/v1/quarantine" | grep -q '"entries"'    || fail "quarantine endpoint broken"
+
+# The flight-recorder dump is non-empty (record-all retains every request).
+DUMP=$(curl -fsS "${BASE}/debug/traces") || fail "/debug/traces failed"
+echo "$DUMP" | grep -q '"len":0' && fail "flight recorder empty with -trace-record-all: $DUMP"
+echo "$DUMP" | grep -q '"trace_id"' || fail "flight dump carries no traces: $DUMP"
 
 # Bad input must 400, not crash.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "${BASE}/v1/recommend" -d '{"queries":[]}')
@@ -63,5 +89,28 @@ kill -TERM "$PID"
 if ! wait "$PID"; then fail "daemon exited non-zero on SIGTERM"; fi
 PID=""
 [ -f "${DIR}/models/Heuristic.model" ] || fail "no model persisted to -model-dir"
+
+# The structured log is non-empty, well-formed JSONL (every line one JSON
+# object with the fixed prefix fields).
+[ -s "$JSONL" ] || fail "structured log ${JSONL} empty or missing"
+python3 - "$JSONL" <<'PY' || fail "structured log is not well-formed JSONL"
+import json, sys
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        try:
+            m = json.loads(line)
+        except ValueError as e:
+            sys.exit(f"line {i}: not JSON: {e}")
+        for k in ("ts", "level", "tool", "msg"):
+            if k not in m:
+                sys.exit(f"line {i}: missing {k}: {line.strip()}")
+        if m["tool"] != "advisord":
+            sys.exit(f"line {i}: tool = {m['tool']!r}")
+PY
+grep -q '"msg":"drained"' "$JSONL" || fail "log missing the drain line"
+
+# The forensics report was written on drain and carries the retained traces.
+[ -s "$REPORT" ] || fail "report ${REPORT} empty or missing"
+grep -q '"traces"' "$REPORT" || fail "report missing the flight-recorder traces"
 
 echo "smoke_advisord: OK"
