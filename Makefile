@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos guard fuzz bench fmt vet lint vuln smoke serve obs
+.PHONY: all build test race chaos guard fuzz bench bench-compare fmt vet lint vuln smoke serve obs
 
 all: fmt vet build test
 
@@ -76,13 +76,24 @@ vet:
 
 # bench runs the macro benchmarks once each (-benchtime 1x: these are
 # whole-experiment wall-clock probes, one op IS the experiment) and the
-# what-if cache micro benchmarks at a fixed iteration count (one op is a few
-# µs, so 1x would only measure harness overhead), and records both in
-# BENCH_pr2.json: ns/op, whatif-calls/op and hit-rate per benchmark.
+# what-if cache / workload-sweep micro benchmarks at fixed iteration counts
+# (one op is a few µs, so 1x would only measure harness overhead), and
+# records everything in BENCH_OUT: ns/op, B/op, allocs/op (-benchmem) plus
+# the custom metrics (whatif-calls/op, hit-rate, recost-frac) per benchmark.
 BENCH_PATTERN ?= MainResult|Fig|Table
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr7.json
 
 bench:
-	{ $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count 1 . && \
-	  $(GO) test -run '^$$' -bench 'WhatIfCached' -benchtime 20000x -count 1 . ; } \
+	{ $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem -count 1 . && \
+	  $(GO) test -run '^$$' -bench 'WhatIfCached' -benchtime 20000x -benchmem -count 1 . && \
+	  $(GO) test -run '^$$' -bench 'WorkloadCost' -benchtime 5000x -benchmem -count 1 . ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# bench-compare diffs two benchjson summaries and fails on a >20% ns/op
+# regression in any shared benchmark. CI runs it non-blocking (report only);
+# run it locally before landing perf-sensitive changes.
+BENCH_OLD ?= BENCH_pr2.json
+BENCH_NEW ?= BENCH_pr7.json
+
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)

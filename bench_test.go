@@ -227,6 +227,89 @@ func BenchmarkWhatIfCachedParallel(b *testing.B) {
 	b.ReportMetric(w.CacheStats().HitRate(), "hit-rate")
 }
 
+// benchSweepSetup builds the |W|=200 TPC-H workload and the rotating
+// single-index-delta candidate sets the sweep benchmarks iterate over: a
+// fixed three-index base configuration plus one rotating single-column
+// candidate, the access pattern of greedy/bandit candidate enumeration.
+func benchSweepSetup(b *testing.B) (*cost.WhatIf, *workload.Workload, [][]cost.Index) {
+	b.Helper()
+	s := catalog.TPCH(1)
+	w := cost.NewWhatIf(cost.NewModel(s))
+	wl := workload.GenerateNormal(s, workload.TPCHTemplates(), 200, rand.New(rand.NewSource(9)))
+	base := []cost.Index{
+		cost.NewIndex("lineitem.l_orderkey"),
+		cost.NewIndex("orders.o_orderdate"),
+		cost.NewIndex("customer.c_custkey"),
+	}
+	cands := []string{
+		"lineitem.l_partkey", "lineitem.l_suppkey", "lineitem.l_shipdate",
+		"lineitem.l_quantity", "orders.o_custkey", "orders.o_totalprice",
+		"customer.c_nationkey", "customer.c_acctbal", "part.p_size",
+		"part.p_brand", "partsupp.ps_availqty", "supplier.s_nationkey",
+	}
+	// Interleave the base configuration between candidates so every
+	// consecutive evaluation differs by exactly one single-column index —
+	// greedy enumeration's evaluate-candidate-then-revert access pattern.
+	sets := make([][]cost.Index, 0, 2*len(cands))
+	for _, c := range cands {
+		sets = append(sets, base,
+			append(append([]cost.Index(nil), base...), cost.NewIndex(c)))
+	}
+	// Warm every (query, set) pair so both sweep styles measure pure sweep
+	// overhead over a hot cache, not first-plan cost.
+	for _, set := range sets {
+		w.WorkloadCost(wl.Queries, wl.Freqs, set)
+	}
+	return w, wl, sets
+}
+
+// BenchmarkWorkloadCostFullSweep is the pre-delta baseline: every evaluation
+// probes the cache once per query (|W|=200 probes) even though consecutive
+// sets differ by a single index.
+func BenchmarkWorkloadCostFullSweep(b *testing.B) {
+	w, wl, sets := benchSweepSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.WorkloadCost(wl.Queries, wl.Freqs, sets[i%len(sets)])
+	}
+}
+
+// BenchmarkWorkloadCostDelta sweeps the same rotating sets through a
+// WorkloadCoster session: each evaluation re-costs only the queries whose
+// referenced columns intersect the two swapped candidates' columns. The
+// ns/op ratio against BenchmarkWorkloadCostFullSweep is the delta win.
+func BenchmarkWorkloadCostDelta(b *testing.B) {
+	w, wl, sets := benchSweepSetup(b)
+	coster := w.NewWorkloadCoster(wl.Queries, wl.Freqs)
+	for _, set := range sets {
+		coster.Cost(set) // warm the session across the whole rotation
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coster.Cost(sets[i%len(sets)])
+	}
+	b.StopTimer()
+	st := coster.Stats()
+	if st.Recosted+st.Reused > 0 {
+		b.ReportMetric(float64(st.Recosted)/float64(st.Recosted+st.Reused), "recost-frac")
+	}
+}
+
+// BenchmarkWorkloadCostDeltaRepeat measures the anchor-equal fast path
+// (re-evaluating the set just costed), the floor of the delta design.
+func BenchmarkWorkloadCostDeltaRepeat(b *testing.B) {
+	w, wl, sets := benchSweepSetup(b)
+	coster := w.NewWorkloadCoster(wl.Queries, wl.Freqs)
+	coster.Cost(sets[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coster.Cost(sets[0])
+	}
+}
+
 func BenchmarkSQLParse(b *testing.B) {
 	src := "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_shipdate BETWEEN 100 AND 200 GROUP BY l_returnflag ORDER BY l_returnflag DESC LIMIT 10"
 	b.ReportAllocs()

@@ -3,9 +3,14 @@
 // unchanged (so the bench run stays readable in CI logs), while the parsed
 // results are written to the -o file.
 //
-// Example:
+// With -compare, it instead diffs two previously written summaries,
+// printing a per-benchmark delta table and exiting nonzero when any shared
+// benchmark's ns/op regressed by more than -threshold (default 20%).
+//
+// Examples:
 //
 //	go test -run '^$' -bench 'MainResult|WhatIf' -benchtime 1x . | go run ./cmd/benchjson -o BENCH.json
+//	go run ./cmd/benchjson -compare BENCH_pr2.json BENCH_pr7.json
 package main
 
 import (
@@ -45,8 +50,25 @@ type Report struct {
 var errNoBenchmarks = errors.New("no benchmark result lines in input (wrong -bench filter, or a failed bench run upstream of the pipe?)")
 
 func main() {
-	out := flag.String("o", "", "write the JSON summary to this path (required)")
+	out := flag.String("o", "", "write the JSON summary to this path (required unless -compare)")
+	compare := flag.Bool("compare", false, "compare two summaries: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "ns/op regression ratio that fails -compare")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
 		os.Exit(2)
@@ -55,6 +77,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare prints the per-benchmark delta table between two summaries and
+// reports whether any shared benchmark's ns/op regressed past the
+// threshold. Benchmarks present in only one file are listed informationally
+// and never fail the comparison (the suite is allowed to grow and shrink).
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (fail if ns/op grows >%.0f%%)\n",
+		oldPath, newPath, threshold*100)
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	regressed := false
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.1f %8s %10s\n", nb.Name, "(new)", nb.Metrics["ns/op"], "", allocsDelta(Benchmark{}, nb))
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		delta := "n/a"
+		if oldNs > 0 {
+			r := newNs/oldNs - 1
+			delta = fmt.Sprintf("%+.1f%%", r*100)
+			if r > threshold {
+				delta += " REGRESSED"
+				regressed = true
+			}
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %8s %10s\n", nb.Name, oldNs, newNs, delta, allocsDelta(ob, nb))
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s %14.1f %14s\n", ob.Name, ob.Metrics["ns/op"], "(removed)")
+		}
+	}
+	return regressed, nil
+}
+
+// allocsDelta renders the allocs/op movement when both sides report it.
+func allocsDelta(oldB, newB Benchmark) string {
+	nv, ok := newB.Metrics["allocs/op"]
+	if !ok {
+		return ""
+	}
+	if ov, ok := oldB.Metrics["allocs/op"]; ok {
+		return fmt.Sprintf("%.0f->%.0f", ov, nv)
+	}
+	return fmt.Sprintf("%.0f", nv)
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // run tees the bench output from in to tee while parsing it, then writes the

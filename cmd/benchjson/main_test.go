@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
 	"os"
@@ -116,5 +117,92 @@ func TestRunWritesReport(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("report missing %s:\n%s", want, data)
 		}
+	}
+}
+
+// writeReport marshals a report to a temp file for the compare tests.
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 100, 3),
+		bench("BenchmarkB", 100, 0),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 150, 3), // +50% -> regression at 20% threshold
+		bench("BenchmarkB", 90, 0),
+	}})
+	var buf strings.Builder
+	regressed, err := runCompare(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("regression not detected:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("table missing REGRESSED marker:\n%s", buf.String())
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 100, 3),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 115, 0), // +15% is inside the 20% gate
+		bench("BenchmarkNew", 10, 0),
+	}})
+	var buf strings.Builder
+	regressed, err := runCompare(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("false regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "(new)") {
+		t.Errorf("new-benchmark row missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "3->0") {
+		t.Errorf("allocs delta missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareOnlyInOldIsInformational(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkGone", 100, 1),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkOther", 50, 0),
+	}})
+	var buf strings.Builder
+	regressed, err := runCompare(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("removed benchmark flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "(removed)") {
+		t.Errorf("removed-benchmark row missing:\n%s", buf.String())
 	}
 }

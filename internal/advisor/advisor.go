@@ -257,6 +257,7 @@ type Episode struct {
 	env       *Env
 	w         *workload.Workload
 	budget    int
+	coster    *cost.WorkloadCoster
 	baseCost  float64   // Σ freq·cost with no indexes (absolute)
 	curCost   float64   // Σ freq·cost under the current configuration
 	perBase   []float64 // per-query no-index costs
@@ -267,21 +268,23 @@ type Episode struct {
 	indexes   []cost.Index
 }
 
-// NewEpisode starts a rollout for the workload.
+// NewEpisode starts a rollout for the workload. Costing runs through a
+// delta-aware WorkloadCoster session: each Step grows the configuration by
+// one index, so only the queries referencing that index's columns are
+// re-costed — the rest of the workload's costs carry over bit-identically.
 func (e *Env) NewEpisode(w *workload.Workload, budget int) *Episode {
 	episodesTotal.Inc()
 	ep := &Episode{
 		env: e, w: w, budget: budget,
+		coster:    e.WhatIf.NewWorkloadCoster(w.Queries, w.Freqs),
 		perBase:   make([]float64, w.Len()),
 		perCur:    make([]float64, w.Len()),
 		chosenSet: make(map[int]bool, budget),
 	}
-	for i, q := range w.Queries {
-		c := e.WhatIf.QueryCost(q, nil)
-		ep.perBase[i] = c
-		ep.perCur[i] = c
-		ep.baseCost += w.Freqs[i] * c
-		ep.freqTotal += w.Freqs[i]
+	ep.baseCost = ep.coster.CostPer(nil, ep.perBase)
+	copy(ep.perCur, ep.perBase)
+	for _, f := range w.Freqs {
+		ep.freqTotal += f
 	}
 	ep.curCost = ep.baseCost
 	if ep.freqTotal == 0 {
@@ -328,12 +331,7 @@ func (ep *Episode) Step(col int) float64 {
 	ep.chosenSet[col] = true
 	ep.indexes = append(ep.indexes, cost.NewIndex(ep.env.Columns[col]))
 	prev := ep.curCost
-	ep.curCost = 0
-	for i, q := range ep.w.Queries {
-		c := ep.env.WhatIf.QueryCost(q, ep.indexes)
-		ep.perCur[i] = c
-		ep.curCost += ep.w.Freqs[i] * c
-	}
+	ep.curCost = ep.coster.CostPer(ep.indexes, ep.perCur)
 	if ep.baseCost <= 0 {
 		return 0
 	}

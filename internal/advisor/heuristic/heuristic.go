@@ -44,17 +44,23 @@ func (h *Heuristic) CloneAdvisor() advisor.Advisor { return h }
 // Recommend greedily adds the candidate index with the largest marginal
 // what-if cost reduction until the budget is exhausted or no candidate
 // improves the workload.
+//
+// Candidate evaluation runs through a delta-aware costing session:
+// consecutive candidate sets differ by swapping one trial index, so each
+// evaluation re-costs only the queries touching the two swapped indexes'
+// columns instead of sweeping the whole workload.
 func (h *Heuristic) Recommend(w *workload.Workload) []cost.Index {
 	cands := h.candidates(w)
 	var chosen []cost.Index
-	cur := h.env.WhatIf.WorkloadCost(w.Queries, w.Freqs, nil)
+	coster := h.env.WhatIf.NewWorkloadCoster(w.Queries, w.Freqs)
+	cur := coster.Cost(nil)
 	for len(chosen) < h.budget {
 		bestI, bestCost := -1, cur
 		for i, cand := range cands {
 			if cand.Columns == nil {
 				continue // consumed
 			}
-			c := h.env.WhatIf.WorkloadCost(w.Queries, w.Freqs, append(chosen, cand))
+			c := coster.Cost(append(chosen, cand))
 			if c < bestCost {
 				bestI, bestCost = i, c
 			}

@@ -3,6 +3,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/obs"
@@ -121,12 +122,21 @@ func NewModel(s *catalog.Schema) *Model {
 // QueryCost estimates the execution cost of a resolved query under the given
 // hypothetical index set. It panics on queries referencing unknown tables;
 // all queries must pass sql.Resolve first.
+//
+// QueryCost plans into pooled per-goroutine scratch (nothing from the plan
+// escapes — only the scalar total), which is what keeps the what-if miss
+// path allocation-light; callers needing the plan itself use Plan, which
+// builds into fresh memory.
 func (m *Model) QueryCost(q *sql.Query, indexes []Index) float64 {
-	p, err := m.Plan(q, indexes)
+	sc := scratchPool.Get().(*planScratch)
+	p, err := m.planInto(q, indexes, sc)
 	if err != nil {
+		scratchPool.Put(sc)
 		panic("cost: " + err.Error())
 	}
-	return p.Total
+	total := p.Total
+	scratchPool.Put(sc)
+	return total
 }
 
 // WorkloadCost sums frequency-weighted query costs: c(W, d, I). freqs may be
@@ -143,38 +153,143 @@ func (m *Model) WorkloadCost(queries []*sql.Query, freqs []float64, indexes []In
 	return total
 }
 
+// planScratch holds every transient structure one planning pass needs. A
+// pass allocates nothing when its scratch has warmed up to the query's
+// shape: candidate filtering, per-table access decisions, join ordering and
+// the output plan all write into reusable buffers.
+//
+// Pointer discipline: TableAccess.Index and JoinStep.Index point into
+// sc.idxBuf, an arena pre-sized to its per-pass maximum (one winner per
+// table plus one NL probe index per join step) so appends never reallocate
+// and the pointers stay valid for the lifetime of the pass. QueryCost
+// recycles scratch through scratchPool, so nothing reachable from it may
+// escape; Plan builds into a fresh scratch that the returned *Plan keeps
+// alive.
+type planScratch struct {
+	plan       Plan
+	access     []TableAccess // per-table winner, parallel to q.Tables
+	planAccess []TableAccess // backing for plan.Access
+	planJoins  []JoinStep    // backing for plan.Joins
+	idxBuf     []Index       // arena for winner / probe Index pointers
+	cand       []Index       // per-table candidate filter buffer
+	refCols    []string      // referencedColumnsOf buffer
+	preds      []sql.Predicate
+	conds      []sql.Join
+	remaining  []bool // join ordering state, parallel to q.Tables
+	inTree     []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return newPlanScratch() }}
+
+func newPlanScratch() *planScratch {
+	return &planScratch{
+		access:     make([]TableAccess, 0, 8),
+		planAccess: make([]TableAccess, 0, 8),
+		planJoins:  make([]JoinStep, 0, 8),
+		idxBuf:     make([]Index, 0, 16),
+		cand:       make([]Index, 0, 8),
+		refCols:    make([]string, 0, 16),
+		preds:      make([]sql.Predicate, 0, 8),
+		conds:      make([]sql.Join, 0, 8),
+		remaining:  make([]bool, 0, 8),
+		inTree:     make([]bool, 0, 8),
+	}
+}
+
+// reset sizes the scratch for a query over n tables. The index arena must
+// hold at most one winner per table plus one NL probe per join step; 2n
+// covers both, and pre-sizing it is what licenses taking addresses of its
+// elements.
+func (sc *planScratch) reset(n int) {
+	sc.plan = Plan{}
+	if cap(sc.access) < n {
+		sc.access = make([]TableAccess, n)
+	} else {
+		sc.access = sc.access[:n]
+	}
+	sc.planAccess = sc.planAccess[:0]
+	sc.planJoins = sc.planJoins[:0]
+	if cap(sc.idxBuf) < 2*n {
+		sc.idxBuf = make([]Index, 0, 2*n)
+	} else {
+		sc.idxBuf = sc.idxBuf[:0]
+	}
+	if cap(sc.remaining) < n {
+		sc.remaining = make([]bool, n)
+		sc.inTree = make([]bool, n)
+	} else {
+		sc.remaining = sc.remaining[:n]
+		sc.inTree = sc.inTree[:n]
+		for i := range sc.remaining {
+			sc.remaining[i] = false
+			sc.inTree[i] = false
+		}
+	}
+}
+
+// placeIndex copies ix into the arena and returns a pointer that stays
+// valid for the pass (reset guarantees capacity, so no reallocation).
+func (sc *planScratch) placeIndex(ix Index) *Index {
+	sc.idxBuf = append(sc.idxBuf, ix)
+	return &sc.idxBuf[len(sc.idxBuf)-1]
+}
+
+// candidatesFor filters the index list down to one table into sc.cand.
+func (sc *planScratch) candidatesFor(indexes []Index, table string) []Index {
+	sc.cand = sc.cand[:0]
+	for i := range indexes {
+		if indexes[i].Table() == table {
+			sc.cand = append(sc.cand, indexes[i])
+		}
+	}
+	return sc.cand
+}
+
+func tableIndex(tables []string, t string) int {
+	for i, x := range tables {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
 // Plan chooses access paths and join order for q under the hypothetical
-// index set and returns the costed plan.
+// index set and returns the costed plan. The plan is built into fresh
+// memory and is safe to retain.
 func (m *Model) Plan(q *sql.Query, indexes []Index) (*Plan, error) {
+	return m.planInto(q, indexes, newPlanScratch())
+}
+
+// planInto is the planning core shared by Plan and QueryCost: one code path
+// guarantees both produce bit-identical totals. The returned *Plan aliases
+// sc and is valid only as long as sc is not reset or repooled.
+func (m *Model) planInto(q *sql.Query, indexes []Index, sc *planScratch) (*Plan, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("query has no tables")
 	}
-	byTable := make(map[string][]Index)
-	for _, ix := range indexes {
-		byTable[ix.Table()] = append(byTable[ix.Table()], ix)
-	}
+	sc.reset(len(q.Tables))
 
-	access := make(map[string]*TableAccess, len(q.Tables))
-	for _, t := range q.Tables {
+	for i, t := range q.Tables {
 		tbl := m.Schema.Table(t)
 		if tbl == nil {
 			return nil, fmt.Errorf("unknown table %q", t)
 		}
-		access[t] = m.bestAccess(q, tbl, byTable[t], len(q.Tables) == 1)
+		m.bestAccess(q, tbl, sc.candidatesFor(indexes, t), len(q.Tables) == 1, sc, &sc.access[i])
 	}
 
-	plan := &Plan{}
+	plan := &sc.plan
 	singleTable := len(q.Tables) == 1
 
 	if singleTable {
-		a := access[q.Tables[0]]
-		plan.Access = []TableAccess{*a}
+		a := &sc.access[0]
+		plan.Access = append(sc.planAccess, *a)
 		plan.OutRows = a.OutRows
 		if len(q.OrderBy) > 0 && !a.ProvidesOrder {
 			plan.SortCost = m.sortCost(a.OutRows)
 		}
 	} else {
-		if err := m.orderJoins(q, access, byTable, plan); err != nil {
+		if err := m.orderJoins(q, indexes, sc, plan); err != nil {
 			return nil, err
 		}
 		if len(q.OrderBy) > 0 {
@@ -214,15 +329,24 @@ func (m *Model) Plan(q *sql.Query, indexes []Index) (*Plan, error) {
 		}
 	}
 	plan.Total += plan.SortCost + plan.AggCost
+	// Hand the (possibly grown) plan buffers back to the scratch so the next
+	// pass reuses their capacity.
+	sc.planAccess = plan.Access
+	sc.planJoins = plan.Joins
 	return plan, nil
 }
 
-// bestAccess picks the cheapest access path for one table. For single-table
-// queries, LIMIT pushdown is applied to each candidate that can deliver rows
-// in final order (early termination), which is what makes "ORDER BY c LIMIT
-// k" queries prize an index on c.
-func (m *Model) bestAccess(q *sql.Query, tbl *catalog.Table, candidates []Index, single bool) *TableAccess {
-	preds := q.PredicatesOn(tbl.Name)
+// bestAccess picks the cheapest access path for one table, writing the
+// winner into out. For single-table queries, LIMIT pushdown is applied to
+// each candidate that can deliver rows in final order (early termination),
+// which is what makes "ORDER BY c LIMIT k" queries prize an index on c.
+//
+// Candidate TableAccess values are built in place and the winning index is
+// copied into the scratch arena only after the race is decided, so losing
+// candidates cost no allocations at all.
+func (m *Model) bestAccess(q *sql.Query, tbl *catalog.Table, candidates []Index, single bool, sc *planScratch, out *TableAccess) {
+	preds := appendPredicatesOn(sc.preds[:0], q, tbl.Name)
+	sc.preds = preds
 	rows := float64(tbl.Rows(m.Schema.SF))
 	pages := m.heapPages(tbl)
 	filterSel := conjunctionSelectivity(m.Schema, preds)
@@ -243,31 +367,36 @@ func (m *Model) bestAccess(q *sql.Query, tbl *catalog.Table, candidates []Index,
 		a.OutRows = float64(q.Limit)
 	}
 
-	best := &TableAccess{
+	*out = TableAccess{
 		Table:     tbl.Name,
 		Kind:      ScanSeq,
 		FilterSel: filterSel,
 		Cost:      pages*m.P.SeqPageCost + rows*m.P.CPUTupleCost,
 		OutRows:   math.Max(rows*filterSel, 1e-9),
 	}
-	limitScale(best)
+	limitScale(out)
 
-	refCols := m.referencedColumnsOf(q, tbl.Name)
+	refCols := m.referencedColumnsOf(q, tbl.Name, sc)
+	winner := -1
+	var cand TableAccess
 	for i := range candidates {
-		ix := candidates[i]
-		if a := m.indexAccess(q, tbl, ix, preds, rows, refCols); a != nil {
-			limitScale(a)
-			if a.Cost < best.Cost {
-				best = a
+		if m.indexAccess(q, tbl, candidates[i], preds, rows, refCols, &cand) {
+			limitScale(&cand)
+			if cand.Cost < out.Cost {
+				*out = cand
+				winner = i
 			}
 		}
 	}
-	return best
+	if winner >= 0 {
+		out.Index = sc.placeIndex(candidates[winner])
+	}
 }
 
-// indexAccess costs scanning tbl through ix, or returns nil when the index
-// is unusable for this query.
-func (m *Model) indexAccess(q *sql.Query, tbl *catalog.Table, ix Index, preds []sql.Predicate, rows float64, refCols map[string]bool) *TableAccess {
+// indexAccess costs scanning tbl through ix, filling a and reporting true,
+// or reports false when the index is unusable for this query. a.Index is
+// left nil; the caller places the winning index into stable memory.
+func (m *Model) indexAccess(q *sql.Query, tbl *catalog.Table, ix Index, preds []sql.Predicate, rows float64, refCols []string, a *TableAccess) bool {
 	matched, indexSel := matchPrefix(m.Schema, ix, preds)
 	covering := coversAll(ix, refCols)
 	providesOrder := len(q.OrderBy) > 0 && ix.Columns[0] == q.OrderBy[0].Column
@@ -314,40 +443,43 @@ func (m *Model) indexAccess(q *sql.Query, tbl *catalog.Table, ix Index, preds []
 			cost += corr*contig*m.P.SeqPageCost + (1-corr)*fetched*m.P.RandomPageCost
 			cost += matchedRows * m.P.CPUTupleCost // residual filter eval
 		}
-		return &TableAccess{
-			Table: tbl.Name, Kind: kind, Index: &ix,
+		*a = TableAccess{
+			Table: tbl.Name, Kind: kind,
 			MatchedCols: matched, IndexSel: indexSel, FilterSel: residual,
 			Cost:    cost,
 			OutRows: math.Max(matchedRows*residual, 1e-9),
 			// An index condition scan is ordered by the index's columns.
 			ProvidesOrder: providesOrder,
 		}
+		return true
 	case covering:
 		// Full index-only traversal: cheaper than a seq scan when the index
 		// is much narrower than the heap tuple.
 		leafPages := m.indexLeafPages(tbl, ix, rows)
 		cost := leafPages*m.P.SeqPageCost + rows*m.P.CPUIndexTupleCost
-		return &TableAccess{
-			Table: tbl.Name, Kind: ScanIndexFull, Index: &ix,
+		*a = TableAccess{
+			Table: tbl.Name, Kind: ScanIndexFull,
 			FilterSel:     residual,
 			Cost:          cost,
 			OutRows:       math.Max(rows*residual, 1e-9),
 			ProvidesOrder: providesOrder,
 		}
+		return true
 	case providesOrder && len(q.OrderBy) > 0:
 		// Unselective but order-providing: full index scan + heap fetch.
 		// Only profitable with LIMIT; cost the full traversal here and let
 		// LIMIT pushdown scale it.
 		cost := descent + rows*(m.P.CPUIndexTupleCost+m.P.RandomPageCost)
-		return &TableAccess{
-			Table: tbl.Name, Kind: ScanIndex, Index: &ix,
+		*a = TableAccess{
+			Table: tbl.Name, Kind: ScanIndex,
 			FilterSel:     residual,
 			Cost:          cost,
 			OutRows:       math.Max(rows*residual, 1e-9),
 			ProvidesOrder: true,
 		}
+		return true
 	default:
-		return nil
+		return false
 	}
 }
 
@@ -356,29 +488,32 @@ func (m *Model) indexAccess(q *sql.Query, tbl *catalog.Table, ix Index, preds []
 // number of matched columns and the combined selectivity of the matched
 // condition.
 func matchPrefix(s *catalog.Schema, ix Index, preds []sql.Predicate) (int, float64) {
-	byCol := make(map[string][]sql.Predicate, len(preds))
-	for _, p := range preds {
-		byCol[p.Column] = append(byCol[p.Column], p)
-	}
 	matched := 0
 	sel := 1.0
 	for _, col := range ix.Columns {
-		ps := byCol[col]
-		if len(ps) == 0 {
-			break
-		}
+		// Predicate lists are a handful of conjuncts; a linear scan in
+		// appearance order replaces the per-call grouping map and multiplies
+		// selectivities in the same order it did, so results are bit-equal.
 		eq := false
+		any := false
 		colSel := 1.0
 		rangeOnly := true
-		for _, p := range ps {
-			if !p.Op.Sargable() {
+		for i := range preds {
+			if preds[i].Column != col {
 				continue
 			}
-			colSel *= predSelectivity(s, p)
-			if p.Op == sql.OpEq || p.Op == sql.OpIn {
+			any = true
+			if !preds[i].Op.Sargable() {
+				continue
+			}
+			colSel *= predSelectivity(s, preds[i])
+			if preds[i].Op == sql.OpEq || preds[i].Op == sql.OpIn {
 				eq = true
 				rangeOnly = false
 			}
+		}
+		if !any {
+			break
 		}
 		if colSel == 1.0 {
 			break // only non-sargable predicates on this column
@@ -396,87 +531,123 @@ func matchPrefix(s *catalog.Schema, ix Index, preds []sql.Predicate) (int, float
 }
 
 // coversAll reports whether the index contains every referenced column.
-func coversAll(ix Index, refCols map[string]bool) bool {
+// Index widths are ≤ a few columns, so the nested linear scan beats building
+// a lookup map.
+func coversAll(ix Index, refCols []string) bool {
 	if len(refCols) == 0 {
 		return false
 	}
-	have := make(map[string]bool, len(ix.Columns))
-	for _, c := range ix.Columns {
-		have[c] = true
-	}
-	for c := range refCols {
-		if !have[c] {
+	for _, c := range refCols {
+		found := false
+		for _, have := range ix.Columns {
+			if have == c {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
 	return true
 }
 
+// starSentinel is a pseudo-column no real index can contain ('\x00' never
+// appears in column names): returning it makes coversAll false for SELECT *
+// queries, which reference every column.
+const starSentinel = "\x00*"
+
 // referencedColumnsOf collects the query's referenced columns belonging to
-// one table. A '*' select or aggregate over '*' references all columns,
-// which we represent by returning a set that no index can cover (includes a
-// sentinel).
-func (m *Model) referencedColumnsOf(q *sql.Query, table string) map[string]bool {
-	set := make(map[string]bool)
-	prefix := table + "."
-	star := false
+// one table, into the scratch buffer. A '*' select or aggregate over '*'
+// references all columns, represented by a list no index can cover.
+func (m *Model) referencedColumnsOf(q *sql.Query, table string, sc *planScratch) []string {
+	out := sc.refCols[:0]
 	for _, si := range q.Select {
 		if si.Star && si.Agg == sql.AggNone {
-			star = true
+			sc.refCols = append(out, starSentinel)
+			return sc.refCols
 		}
 	}
-	if star {
-		set[prefix+"\x00star"] = true
-		return set
-	}
-	for _, c := range q.ReferencedColumns() {
+	for _, c := range q.ReferencedColumnsShared() {
 		if sql.TableOf(c) == table {
-			set[c] = true
+			out = append(out, c)
 		}
 	}
-	return set
+	sc.refCols = out
+	return out
+}
+
+// appendPredicatesOn is q.PredicatesOn into a reusable buffer. The prefix
+// test compares against the bare table name (no "table." concatenation) so
+// the call is allocation-free.
+func appendPredicatesOn(buf []sql.Predicate, q *sql.Query, table string) []sql.Predicate {
+	for i := range q.Where {
+		c := q.Where[i].Column
+		if len(c) > len(table) && c[len(table)] == '.' && c[:len(table)] == table {
+			buf = append(buf, q.Where[i])
+		}
+	}
+	return buf
 }
 
 // orderJoins greedily builds the join tree: start from the smallest filtered
 // table, repeatedly add the connected table minimizing the intermediate
 // cardinality, choosing hash vs index-nested-loop per step.
-func (m *Model) orderJoins(q *sql.Query, access map[string]*TableAccess, byTable map[string][]Index, plan *Plan) error {
-	remaining := make(map[string]bool, len(q.Tables))
-	for _, t := range q.Tables {
-		remaining[t] = true
+//
+// Candidate tables are scanned in FROM-list order with a strict-less-than
+// winner test, so ties break to the earliest table deterministically (the
+// previous map-keyed iteration left tie order to map randomization; the
+// worker-width golden suite pins there being no observable difference).
+func (m *Model) orderJoins(q *sql.Query, indexes []Index, sc *planScratch, plan *Plan) error {
+	n := len(q.Tables)
+	for i := range sc.remaining {
+		sc.remaining[i] = true
 	}
 	// Start table: smallest filtered cardinality.
-	start := ""
-	for _, t := range q.Tables {
-		if start == "" || access[t].OutRows < access[start].OutRows {
-			start = t
+	start := 0
+	for i := 1; i < n; i++ {
+		if sc.access[i].OutRows < sc.access[start].OutRows {
+			start = i
 		}
 	}
-	delete(remaining, start)
-	plan.Access = []TableAccess{*access[start]}
-	card := access[start].OutRows
-	inTree := map[string]bool{start: true}
+	sc.remaining[start] = false
+	plan.Access = append(sc.planAccess, sc.access[start])
+	plan.Joins = sc.planJoins
+	card := sc.access[start].OutRows
+	sc.inTree[start] = true
+	left := n - 1
 
-	for len(remaining) > 0 {
+	for left > 0 {
 		// Choose next: connected table with minimal resulting cardinality.
-		next, nextCard := "", math.Inf(1)
-		var nextConds []sql.Join
-		for t := range remaining {
-			conds := connectingConds(q, t, inTree)
-			out := card * access[t].OutRows
-			for _, jc := range conds {
-				out /= math.Max(joinNDV(m.Schema, jc), 1)
+		next, nextCard := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !sc.remaining[i] {
+				continue
 			}
-			if len(conds) == 0 {
+			out := card * sc.access[i].OutRows
+			nConds := 0
+			for _, j := range q.Joins {
+				lt, rt := sql.TableOf(j.Left), sql.TableOf(j.Right)
+				if (lt == q.Tables[i] && inTreeAt(q.Tables, sc.inTree, rt)) ||
+					(rt == q.Tables[i] && inTreeAt(q.Tables, sc.inTree, lt)) {
+					nConds++
+					out /= math.Max(joinNDV(m.Schema, j), 1)
+				}
+			}
+			if nConds == 0 {
 				out *= 10 // discourage cross joins
 			}
-			if out < nextCard || next == "" {
-				next, nextCard, nextConds = t, out, conds
+			if next == -1 || out < nextCard {
+				next, nextCard = i, out
 			}
 		}
+		// Re-collect the winner's connecting conditions into the scratch
+		// buffer (cheaper than materializing them for every candidate).
+		nextConds := appendConnectingConds(sc.conds[:0], q, q.Tables[next], q.Tables, sc.inTree)
+		sc.conds = nextConds
 
-		step := JoinStep{Table: next, OutRows: math.Max(nextCard, 1e-9)}
-		a := access[next]
+		step := JoinStep{Table: q.Tables[next], OutRows: math.Max(nextCard, 1e-9)}
+		a := &sc.access[next]
 		switch {
 		case len(nextConds) == 0:
 			step.Method = JoinCross
@@ -488,17 +659,17 @@ func (m *Model) orderJoins(q *sql.Query, access map[string]*TableAccess, byTable
 			// Index nested loop: probe an index on the new table's join key;
 			// replaces the table's own scan.
 			nlCost := math.Inf(1)
-			var nlIndex *Index
-			tbl := m.Schema.Table(next)
+			nlPos := -1
+			tbl := m.Schema.Table(q.Tables[next])
 			rows := float64(tbl.Rows(m.Schema.SF))
+			cands := sc.candidatesFor(indexes, q.Tables[next])
 			for _, jc := range nextConds {
 				key := jc.Left
-				if sql.TableOf(key) != next {
+				if sql.TableOf(key) != q.Tables[next] {
 					key = jc.Right
 				}
-				for i := range byTable[next] {
-					ix := byTable[next][i]
-					if ix.Columns[0] != key {
+				for i := range cands {
+					if cands[i].Columns[0] != key {
 						continue
 					}
 					perMatch := rows / math.Max(float64(m.Schema.ColumnNDV(key)), 1)
@@ -512,19 +683,19 @@ func (m *Model) orderJoins(q *sql.Query, access map[string]*TableAccess, byTable
 					c := card * probe
 					if c < nlCost {
 						nlCost = c
-						nlIndex = &ix
+						nlPos = i
 					}
 				}
 			}
 			if nlCost < hashCost {
 				step.Method = JoinIndexNL
-				step.Index = nlIndex
+				step.Index = sc.placeIndex(cands[nlPos])
 				step.Cost = nlCost
 				// The probed table contributes no separate scan; record the
 				// access as the probe itself for plan reporting.
 				probeAccess := *a
 				probeAccess.Kind = ScanIndex
-				probeAccess.Index = nlIndex
+				probeAccess.Index = step.Index
 				probeAccess.Cost = 0
 				plan.Access = append(plan.Access, probeAccess)
 			} else {
@@ -535,24 +706,29 @@ func (m *Model) orderJoins(q *sql.Query, access map[string]*TableAccess, byTable
 		}
 		plan.Joins = append(plan.Joins, step)
 		card = step.OutRows
-		inTree[next] = true
-		delete(remaining, next)
+		sc.inTree[next] = true
+		sc.remaining[next] = false
+		left--
 	}
 	plan.OutRows = card
 	return nil
 }
 
-// connectingConds returns join conditions linking table t to the current
-// join tree.
-func connectingConds(q *sql.Query, t string, inTree map[string]bool) []sql.Join {
-	var out []sql.Join
+// appendConnectingConds collects the join conditions linking table t to the
+// current join tree (inTree runs parallel to tables) into buf.
+func appendConnectingConds(buf []sql.Join, q *sql.Query, t string, tables []string, inTree []bool) []sql.Join {
 	for _, j := range q.Joins {
 		lt, rt := sql.TableOf(j.Left), sql.TableOf(j.Right)
-		if (lt == t && inTree[rt]) || (rt == t && inTree[lt]) {
-			out = append(out, j)
+		if (lt == t && inTreeAt(tables, inTree, rt)) || (rt == t && inTreeAt(tables, inTree, lt)) {
+			buf = append(buf, j)
 		}
 	}
-	return out
+	return buf
+}
+
+func inTreeAt(tables []string, inTree []bool, t string) bool {
+	i := tableIndex(tables, t)
+	return i >= 0 && inTree[i]
 }
 
 // joinNDV returns the larger distinct count of a join condition's two sides,

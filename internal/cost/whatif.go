@@ -2,9 +2,7 @@ package cost
 
 import (
 	"context"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -166,7 +164,7 @@ func NewWhatIf(m *Model) *WhatIf {
 
 // QueryCost returns the memoized cost of q under the index set.
 func (w *WhatIf) QueryCost(q *sql.Query, indexes []Index) float64 {
-	return w.queryCost(q, indexes, indexesKey(indexes))
+	return w.queryCost(q, indexes, internedIndexesKey(indexes))
 }
 
 // costKind classifies how one queryCost call was answered, for trace
@@ -191,30 +189,42 @@ func (w *WhatIf) queryCost(q *sql.Query, indexes []Index, idxKey string) float64
 // answered, so traced workload costing can attribute cache behaviour without
 // touching the untraced hot path.
 func (w *WhatIf) queryCostKind(q *sql.Query, indexes []Index, idxKey string) (float64, costKind) {
-	key := q.Fingerprint()
+	// Build the composite key "<fingerprint>|<set key>" into a pooled buffer:
+	// the cache-hit path probes the shard map through string(b), which Go
+	// compiles without a copy, so a warm lookup does not allocate at all. The
+	// key string is only materialized (once) on the compute path, where it
+	// must outlive this call inside the cache map.
+	kb := keyBufPool.Get().(*keyBuf)
+	b := append(kb.buf[:0], q.Fingerprint()...)
 	if idxKey != "" {
-		key += "|" + idxKey
+		b = append(b, '|')
+		b = append(b, idxKey...)
 	}
-	sh := &w.shards[shardOf(key)]
+	kb.buf = b
+	sh := &w.shards[shardOf(b)]
 
 	w.calls.Add(1)
 	whatifCalls.Inc()
 	sh.mu.Lock()
-	if c, ok := sh.cache[key]; ok {
+	if c, ok := sh.cache[string(b)]; ok {
 		sh.mu.Unlock()
+		keyBufPool.Put(kb)
 		w.hits.Add(1)
 		whatifHits.Inc()
 		return c, costHit
 	}
-	if fl, ok := sh.flight[key]; ok {
+	if fl, ok := sh.flight[string(b)]; ok {
 		// Someone is already computing this plan: wait and share.
 		sh.mu.Unlock()
+		keyBufPool.Put(kb)
 		<-fl.done
 		w.hits.Add(1)
 		whatifHits.Inc()
 		whatifShared.Inc()
 		return fl.val, costShared
 	}
+	key := string(b)
+	keyBufPool.Put(kb)
 	fl := &flightCall{done: make(chan struct{})}
 	sh.flight[key] = fl
 	sh.mu.Unlock()
@@ -314,9 +324,13 @@ func (w *WhatIf) evictOne(prefer *shard) bool {
 	return false
 }
 
-// WorkloadCost sums frequency-weighted memoized query costs.
+// WorkloadCost sums frequency-weighted memoized query costs. The index-set
+// key is derived (and interned) once for the whole sweep and shared across
+// shards. For repeated sweeps over a fixed workload with small index-set
+// deltas, prefer a WorkloadCoster session — it re-costs only affected
+// queries (see coster.go).
 func (w *WhatIf) WorkloadCost(queries []*sql.Query, freqs []float64, indexes []Index) float64 {
-	idxKey := indexesKey(indexes)
+	idxKey := internedIndexesKey(indexes)
 	total := 0.0
 	for i, q := range queries {
 		f := 1.0
@@ -341,7 +355,7 @@ func (w *WhatIf) WorkloadCostCtx(ctx context.Context, queries []*sql.Query, freq
 	sp := parent.StartChild("cost:workload")
 	defer sp.End()
 
-	idxKey := indexesKey(indexes)
+	idxKey := internedIndexesKey(indexes)
 	var hits, misses, shared int64
 	fb0 := w.fallbacks.Load()
 	total := 0.0
@@ -418,25 +432,8 @@ func (w *WhatIf) CacheStats() CacheStats {
 	}
 }
 
-// indexesKey canonicalizes an index list (sorted member keys), the
-// IndexSet.Key form. Empty for no indexes.
-func indexesKey(indexes []Index) string {
-	switch len(indexes) {
-	case 0:
-		return ""
-	case 1:
-		return indexes[0].Key()
-	}
-	keys := make([]string, len(indexes))
-	for i, ix := range indexes {
-		keys[i] = ix.Key()
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, ";")
-}
-
 // shardOf hashes a key to its shard (FNV-1a, masked).
-func shardOf(key string) uint32 {
+func shardOf(key []byte) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619

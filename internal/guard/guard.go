@@ -163,8 +163,9 @@ type Trainer struct {
 	consec     int // consecutive rollbacks while Closed
 	frozenLeft int // frozen attempts remaining while Open
 
-	anchored   bool
-	canaryBase float64
+	anchored     bool
+	canaryBase   float64
+	canaryCoster *cost.WorkloadCoster // delta session over the fixed canary workload
 
 	calls      uint64 // live Retrain calls, including replayed ones
 	resumeSkip uint64 // calls to skip after TryRestore
@@ -240,7 +241,13 @@ func (t *Trainer) canaryCost() float64 {
 		return t.cfg.CanaryCost(t.inner)
 	}
 	idx := t.inner.Recommend(t.cfg.Canary)
-	return t.cfg.Eval.WorkloadCost(t.cfg.Canary.Queries, t.cfg.Canary.Freqs, idx)
+	// The canary workload is fixed for the trainer's lifetime, so successive
+	// evaluations (anchor, then every retrain gate) usually differ by a few
+	// indexes at most: the delta session re-costs only the touched queries.
+	if t.canaryCoster == nil {
+		t.canaryCoster = t.cfg.Eval.NewWorkloadCoster(t.cfg.Canary.Queries, t.cfg.Canary.Freqs)
+	}
+	return t.canaryCoster.Cost(idx)
 }
 
 // anchor fixes the canary baseline from the current (trusted) model.

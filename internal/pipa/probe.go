@@ -93,8 +93,10 @@ func (st *StressTester) Probe(ctx context.Context, ia advisor.Advisor) *Preferen
 		rec := ia.Recommend(pw)
 
 		// Update K by Eq. 8: every lead column of the recommended indexes
-		// shares the workload's relative cost reduction equally.
-		reduction := st.WhatIf.Reduction(pw.Queries, pw.Freqs, rec)
+		// shares the workload's relative cost reduction equally. The
+		// delta-aware session rides the per-query costs Recommend just
+		// pulled through the shared what-if cache.
+		reduction := st.WhatIf.NewWorkloadCoster(pw.Queries, pw.Freqs).Reduction(rec)
 		recCols := make(map[int]bool, len(rec))
 		if len(rec) > 0 && reduction > 0 {
 			share := reduction / float64(len(rec))

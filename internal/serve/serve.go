@@ -690,6 +690,10 @@ func (s *Server) recommend(ctx context.Context, wl *workload.Workload) (*Recomme
 	key := workloadKey(wl)
 	span := obs.SpanFrom(ctx)
 	tr := span.Trace()
+	// One delta costing session per request: if the ladder evaluates more
+	// than one candidate configuration (full tier, then fallback), the later
+	// reductions re-cost only the queries the differing indexes touch.
+	coster := s.cfg.WhatIf.NewWorkloadCoster(wl.Queries, wl.Freqs)
 
 	if s.breaker.Allow() {
 		full := span.StartChild("serve:tier-full")
@@ -698,7 +702,7 @@ func (s *Server) recommend(ctx context.Context, wl *workload.Workload) (*Recomme
 		cancel()
 		if err == nil {
 			s.breaker.Success()
-			red := s.cfg.WhatIf.ReductionCtx(obs.ContextWithSpan(ctx, full), wl.Queries, wl.Freqs, idx)
+			red := coster.ReductionCtx(obs.ContextWithSpan(ctx, full), idx)
 			full.Annotate("version", strconv.FormatUint(ver, 10))
 			full.End()
 			s.cache.put(key, cacheEntry{indexes: idx, reduction: red, version: ver})
@@ -736,7 +740,7 @@ func (s *Server) recommend(ctx context.Context, wl *workload.Workload) (*Recomme
 		heur.End()
 		return nil, ctx.Err()
 	}
-	red := s.cfg.WhatIf.ReductionCtx(obs.ContextWithSpan(ctx, heur), wl.Queries, wl.Freqs, idx)
+	red := coster.ReductionCtx(obs.ContextWithSpan(ctx, heur), idx)
 	heur.End()
 	tr.MarkAnomaly("degraded:heuristic")
 	degradedHeur.Inc()

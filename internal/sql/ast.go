@@ -166,6 +166,13 @@ type Query struct {
 	// downstream (costing, memoization) treats a resolved query as immutable,
 	// so the cached text stays valid. Clone deliberately drops it.
 	fp string
+
+	// refCols / refSet cache ReferencedColumns and its interned bitset, set
+	// by Resolve under the same immutability contract as fp. The planner's
+	// covering test and the what-if delta coster read them on every plan, so
+	// neither may be recomputed per call. Clone drops both.
+	refCols []string
+	refSet  ColSet
 }
 
 // String renders the query as canonical SQL text. Parsing the result yields
@@ -261,6 +268,17 @@ func (q *Query) SargableColumns() []string {
 		set[o.Column] = true
 	}
 	return sortedKeys(set)
+}
+
+// ReferencedColumnsShared returns ReferencedColumns without allocating when
+// the query has been Resolved (the cached slice is returned directly).
+// Callers MUST NOT mutate the result. Unresolved queries fall back to a
+// fresh, never-stored slice.
+func (q *Query) ReferencedColumnsShared() []string {
+	if q.refCols != nil {
+		return q.refCols
+	}
+	return q.ReferencedColumns()
 }
 
 // ReferencedColumns returns every distinct qualified column mentioned
