@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos guard fuzz bench bench-compare fmt vet lint vuln smoke serve obs
+.PHONY: all build test race chaos guard defense fuzz bench bench-compare fmt vet lint vuln smoke serve obs
 
 all: fmt vet build test
 
@@ -33,6 +33,15 @@ guard:
 		-run 'Snapshot|Guard|Quarantine|WriteFileAtomic|TryRestore|Persist'
 	$(GO) test -race ./internal/experiments -run 'GuardSweep|GuardRates'
 
+# defense runs the defense-family suite under -race: the sanitizer, the
+# pluggable screener chain, the TRIM robust-retraining screeners (clean
+# zero-false-positive, detection-regime, order-insensitivity and restore
+# guarantees), the guard's screen stage, and the defensesweep ablation
+# drivers (DESIGN.md Â§13).
+defense:
+	$(GO) test -race ./internal/defense/... ./internal/guard/...
+	$(GO) test -race ./internal/experiments -run 'Defense'
+
 # serve runs the serving-daemon suite under -race: admission control, the
 # degradation ladder, hot model swap, live rollback under load, the 2×
 # capacity soak, and kill-and-resume (DESIGN.md §10).
@@ -59,6 +68,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snap -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/defense/trim -run '^$$' -fuzz FuzzTrimSubsetStable -fuzztime $(FUZZTIME)
 
 # lint and vuln expect the tools on PATH (CI installs pinned versions; see
 # .github/workflows/ci.yml).

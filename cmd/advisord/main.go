@@ -28,6 +28,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cli"
 	"repro/internal/cost"
+	"repro/internal/defense/trim"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	olog "repro/internal/obs/log"
@@ -51,6 +52,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	cacheCap := flag.Int("cache", 1024, "recommendation cache entries")
 	guardBudget := flag.Float64("guard-budget", 0.02, "canary regression budget for updates")
+	screen := flag.String("screen", "none", "update-batch screening strategy: "+strings.Join(trim.Strategies(), ", ")+" (or any '+'-chain)")
 	modelDir := flag.String("model-dir", "", "persist committed model snapshots here; restored on restart")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /report on this extra address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus metrics) on this extra address")
@@ -104,11 +106,22 @@ func main() {
 	// genuinely unseen queries (same convention as the experiment harness).
 	canary := workload.GenerateNormal(s, workload.TemplatesFor(s), max(4, size/2),
 		rand.New(rand.NewSource(*seed*100000+7_777_777)))
+	// The initial training workload doubles as the screeners' trusted
+	// reference, so it is generated up front even when a restored model will
+	// skip the training itself.
+	nw := workload.GenerateNormal(s, workload.TemplatesFor(s), size, rand.New(rand.NewSource(*seed)))
+
+	screener, err := trim.BuildScreener(*screen, inner, whatIf, nw, *seed)
+	if err != nil {
+		olog.Error(nil, err.Error())
+		os.Exit(2)
+	}
 
 	trainer, err := guard.NewTrainer(inner, guard.Config{
 		Budget:   *guardBudget,
 		Canary:   canary,
 		Eval:     whatIf,
+		Screener: screener,
 		ModelDir: *modelDir,
 	})
 	if err != nil {
@@ -125,7 +138,6 @@ func main() {
 	if restored {
 		olog.Info(nil, "restored model", "advisor", trainer.Name(), "model_dir", *modelDir)
 	} else {
-		nw := workload.GenerateNormal(s, workload.TemplatesFor(s), size, rand.New(rand.NewSource(*seed)))
 		olog.Info(nil, "training from scratch", "advisor", trainer.Name(), "queries", nw.Len(), "schema", s.Name)
 		start := time.Now()
 		trainer.Train(nw)

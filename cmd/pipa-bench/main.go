@@ -35,7 +35,8 @@ import (
 // aliases (fig7/table1, fig9/table2) share a runner.
 var experimentIDs = []string{
 	"fig1", "fig7", "table1", "fig8", "fig9", "table2",
-	"fig10", "fig11", "fig12", "table3", "faultsweep", "guardsweep", "all",
+	"fig10", "fig11", "fig12", "table3", "faultsweep", "guardsweep",
+	"defensesweep", "all",
 }
 
 func validExp(id string) bool {
@@ -216,6 +217,18 @@ func main() {
 		run("guardsweep", func() (fmt.Stringer, error) {
 			return experiments.RunGuardSweep(ctx, setup, advisorList[0], nil)
 		})
+	}
+	// The defense-family ablation compares every screening strategy and the
+	// guard on the same timeline; like the guard sweep it runs only when asked
+	// for directly. It sweeps every advisor in -advisors (the issue's "one RL
+	// victim + heuristic" pairing is `-advisors DBAbandit-b,Heuristic`).
+	if *exp == "defensesweep" {
+		for _, name := range advisorList {
+			name := name
+			run("defensesweep:"+name, func() (fmt.Stringer, error) {
+				return experiments.RunDefenseSweep(ctx, setup, name, nil, nil)
+			})
+		}
 	}
 	if want("table3") {
 		n := 200

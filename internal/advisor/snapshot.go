@@ -19,6 +19,14 @@ type Snapshotter interface {
 	Restore([]byte) error
 }
 
+// Snapshottable is an advisor whose complete state can be saved and restored
+// byte-exactly — the contract transactional updates (guard.Trainer) and
+// robust retraining (defense/trim's scratch fits) build on.
+type Snapshottable interface {
+	Advisor
+	Snapshotter
+}
+
 // CountingSource is a math/rand Source that counts how many values were
 // drawn, making the RNG itself snapshottable: its state is (seed, draws), and
 // Restore replays the draws from a reseeded stream. Replay cost is linear in

@@ -32,18 +32,27 @@ import (
 // the defense's collateral damage alongside its poisoning catch rate.
 var cleanDroppedTotal = obs.GetCounter("defense_clean_dropped_total")
 
-// Report describes one sanitization pass.
+// Report describes one screening pass.
 type Report struct {
-	Kept    int
-	Dropped int
+	// Strategy names the screener that produced the report ("sanitizer",
+	// "trim", "sanitizer+trim", ...), so a quarantine or sweep row can be
+	// traced back to the defense that made the call.
+	Strategy string
+	Kept     int
+	Dropped  int
 	// Reasons maps each dropped query's text to why it was dropped.
 	Reasons map[string]string
 }
 
-// String summarizes the report.
+// String summarizes the report. Reasons are aggregated and sorted, so the
+// output is deterministic regardless of map iteration order.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sanitizer: kept %d, dropped %d", r.Kept, r.Dropped)
+	strategy := r.Strategy
+	if strategy == "" {
+		strategy = "screen"
+	}
+	fmt.Fprintf(&b, "%s: kept %d, dropped %d", strategy, r.Kept, r.Dropped)
 	if r.Dropped > 0 {
 		b.WriteString(" (")
 		reasons := make(map[string]int)
@@ -136,11 +145,14 @@ func columnSupport(w *workload.Workload) map[string]float64 {
 	return support
 }
 
+// Name implements Screener.
+func (s *Sanitizer) Name() string { return "sanitizer" }
+
 // Screen splits the incoming workload into trusted and suspicious queries.
 // Queries already present in the reference are always kept.
 func (s *Sanitizer) Screen(incoming *workload.Workload) (*workload.Workload, *Report) {
 	kept := &workload.Workload{}
-	report := &Report{Reasons: make(map[string]string)}
+	report := &Report{Strategy: s.Name(), Reasons: make(map[string]string)}
 
 	refTexts := make(map[string]bool, s.Reference.Len())
 	for _, q := range s.Reference.Queries {
@@ -169,9 +181,7 @@ func (s *Sanitizer) Screen(incoming *workload.Workload) (*workload.Workload, *Re
 // defense_clean_dropped_total. The screened workload is discarded — this is
 // a measurement of the sanitizer, not a sanitization.
 func (s *Sanitizer) ScreenClean(clean *workload.Workload) *Report {
-	_, report := s.Screen(clean)
-	cleanDroppedTotal.Add(int64(report.Dropped))
-	return report
+	return ScreenCleanWith(s, clean)
 }
 
 // suspicious applies the two anomaly tests to one query.

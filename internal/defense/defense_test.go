@@ -3,6 +3,7 @@ package defense
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/advisor"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipa"
 	"repro/internal/qgen"
+	"repro/internal/sql"
 	"repro/internal/workload"
 )
 
@@ -302,5 +304,121 @@ func TestScreenCleanReportsFalsePositives(t *testing.T) {
 	}
 	if after = obs.GetCounter("defense_clean_dropped_total").Value(); after != before {
 		t.Errorf("counter moved on a zero-drop screen: %d -> %d", before, after)
+	}
+}
+
+// namedScreener drops queries whose text contains its needle, tagging
+// reasons either bare or already prefixed — the two shapes Chain must merge.
+type namedScreener struct {
+	name     string
+	needle   string
+	prefixed bool
+}
+
+func (n *namedScreener) Name() string { return n.name }
+
+func (n *namedScreener) Screen(w *workload.Workload) (*workload.Workload, *Report) {
+	rep := &Report{Strategy: n.name, Reasons: map[string]string{}}
+	kept := &workload.Workload{}
+	for i, q := range w.Queries {
+		if s := q.String(); strings.Contains(s, n.needle) {
+			rep.Dropped++
+			why := "match"
+			if n.prefixed {
+				why = n.name + ":match"
+			}
+			rep.Reasons[s] = why
+			continue
+		}
+		kept.Add(q, w.Freqs[i])
+		rep.Kept++
+	}
+	return kept, rep
+}
+
+func chainWorkload(t *testing.T, texts ...string) *workload.Workload {
+	t.Helper()
+	w := &workload.Workload{}
+	for _, text := range texts {
+		q, err := sql.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(q, 1)
+	}
+	return w
+}
+
+func TestChainScreensInOrderAndPrefixesReasons(t *testing.T) {
+	a := &namedScreener{name: "alpha", needle: "l_tax"}
+	b := &namedScreener{name: "beta", needle: "l_quantity", prefixed: true}
+	ch := NewChain(a, b)
+	if ch.Name() != "alpha+beta" {
+		t.Fatalf("Name = %q", ch.Name())
+	}
+
+	w := chainWorkload(t,
+		"SELECT COUNT(*) FROM lineitem WHERE lineitem.l_tax > 1",
+		"SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 2",
+		"SELECT COUNT(*) FROM lineitem WHERE lineitem.l_shipdate > 3",
+	)
+	kept, rep := ch.Screen(w)
+	if kept.Len() != 1 || rep.Kept != 1 || rep.Dropped != 2 {
+		t.Fatalf("kept %d, report %s", kept.Len(), rep)
+	}
+	if rep.Strategy != "alpha+beta" {
+		t.Fatalf("Strategy = %q", rep.Strategy)
+	}
+	// Bare reasons gain the sub-screener prefix; already-prefixed ones don't
+	// get doubled.
+	byNeedle := map[string]string{}
+	for q, why := range rep.Reasons {
+		switch {
+		case strings.Contains(q, "l_tax"):
+			byNeedle["alpha"] = why
+		case strings.Contains(q, "l_quantity"):
+			byNeedle["beta"] = why
+		}
+	}
+	if byNeedle["alpha"] != "alpha:match" {
+		t.Errorf("alpha reason = %q, want alpha:match", byNeedle["alpha"])
+	}
+	if byNeedle["beta"] != "beta:match" {
+		t.Errorf("beta reason = %q, want beta:match (no double prefix)", byNeedle["beta"])
+	}
+}
+
+func TestChainEmptyAndScreenClean(t *testing.T) {
+	ch := NewChain(&namedScreener{name: "alpha", needle: "l_tax"})
+	kept, rep := ch.Screen(&workload.Workload{})
+	if kept.Len() != 0 || rep.Dropped != 0 {
+		t.Fatalf("empty: kept %d %s", kept.Len(), rep)
+	}
+
+	// ScreenCleanWith counts chain drops on the clean-FP counter.
+	before := obs.GetCounter("defense_clean_dropped_total").Value()
+	rep = ScreenCleanWith(ch, chainWorkload(t, "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_tax > 1"))
+	if rep.Dropped != 1 {
+		t.Fatalf("clean screen dropped %d, want 1", rep.Dropped)
+	}
+	if got := obs.GetCounter("defense_clean_dropped_total").Value(); got != before+1 {
+		t.Fatalf("counter rose by %d, want 1", got-before)
+	}
+}
+
+func TestReportStrategyString(t *testing.T) {
+	rep := &Report{Strategy: "trim", Kept: 4, Dropped: 1, Reasons: map[string]string{"q": "trim:high-loss iter=2"}}
+	s := rep.String()
+	if !contains(s, "trim: kept 4") {
+		t.Errorf("report %q missing strategy header", s)
+	}
+	// Deterministic: identical reports render identically.
+	if again := rep.String(); again != s {
+		t.Errorf("String not deterministic: %q vs %q", s, again)
+	}
+	// No strategy falls back to the generic header.
+	bare := &Report{Kept: 1}
+	if !contains(bare.String(), "screen: kept 1") {
+		t.Errorf("bare report %q missing generic header", bare.String())
 	}
 }

@@ -1,0 +1,93 @@
+package defense
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Screener is the pluggable batch-screening strategy the guarded update path
+// composes with (guard.Config.Screener): given an incoming training batch it
+// returns the queries safe to learn from plus a Report naming the strategy
+// and the per-query drop reasons. Screen must not mutate the incoming
+// workload, and implementations that fit models internally (defense/trim)
+// must leave the advisor byte-identical to its pre-call state.
+type Screener interface {
+	Name() string
+	Screen(incoming *workload.Workload) (*workload.Workload, *Report)
+}
+
+// CtxScreener is implemented by screeners that record trace spans: ScreenCtx
+// parents its spans under the context's active span (obs.SpanFrom). ScreenWith
+// prefers it when available.
+type CtxScreener interface {
+	Screener
+	ScreenCtx(ctx context.Context, incoming *workload.Workload) (*workload.Workload, *Report)
+}
+
+// ScreenWith screens through s, routing the context to ScreenCtx when s
+// implements it so trace correlation survives the interface boundary.
+func ScreenWith(ctx context.Context, s Screener, incoming *workload.Workload) (*workload.Workload, *Report) {
+	if cs, ok := s.(CtxScreener); ok {
+		return cs.ScreenCtx(ctx, incoming)
+	}
+	return s.Screen(incoming)
+}
+
+// ScreenCleanWith screens a workload the caller vouches for as clean and
+// counts every drop — by definition a false positive — on
+// defense_clean_dropped_total. The screened workload is discarded: this
+// measures the screener's collateral damage, it does not sanitize.
+func ScreenCleanWith(s Screener, clean *workload.Workload) *Report {
+	_, report := s.Screen(clean)
+	cleanDroppedTotal.Add(int64(report.Dropped))
+	return report
+}
+
+// Chain runs several screeners in sequence: the queries one keeps feed the
+// next, so the combined drop set is the union (the "sanitizer+trim" stacked
+// strategy: cheap per-query screening first, robust retraining over the
+// survivors). Its Name joins the sub-screeners' names with "+", and merged
+// drop reasons are prefixed with the sub-screener's name unless the reason
+// already carries it (trim reasons name their variant themselves).
+type Chain struct {
+	Screeners []Screener
+}
+
+// NewChain builds a chain; at least one screener is required.
+func NewChain(ss ...Screener) *Chain { return &Chain{Screeners: ss} }
+
+// Name implements Screener.
+func (c *Chain) Name() string {
+	names := make([]string, len(c.Screeners))
+	for i, s := range c.Screeners {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Screen implements Screener.
+func (c *Chain) Screen(incoming *workload.Workload) (*workload.Workload, *Report) {
+	return c.ScreenCtx(context.Background(), incoming)
+}
+
+// ScreenCtx implements CtxScreener, threading the context through every
+// sub-screener that accepts one.
+func (c *Chain) ScreenCtx(ctx context.Context, incoming *workload.Workload) (*workload.Workload, *Report) {
+	report := &Report{Strategy: c.Name(), Reasons: make(map[string]string)}
+	cur := incoming
+	for _, s := range c.Screeners {
+		kept, sub := ScreenWith(ctx, s, cur)
+		for q, why := range sub.Reasons {
+			if !strings.HasPrefix(why, s.Name()+":") {
+				why = s.Name() + ":" + why
+			}
+			report.Reasons[q] = why
+		}
+		report.Dropped += sub.Dropped
+		cur = kept
+	}
+	report.Kept = cur.Len()
+	return cur, report
+}

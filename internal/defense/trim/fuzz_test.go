@@ -1,0 +1,103 @@
+package trim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/qgen"
+	"repro/internal/workload"
+)
+
+// fuzzEnv is built once per fuzz process: a tiny TPC-H what-if oracle, a
+// clean workload, an off-distribution workload to contaminate it with, and a
+// premise-holding stub advisor (budget = the clean columns).
+var fuzzOnce = sync.Once{}
+var fuzzState struct {
+	env   *advisor.Env
+	batch *workload.Workload
+	stub  *stubAdvisor
+}
+
+func fuzzSetup() {
+	fuzzOnce.Do(func() {
+		s := catalog.TPCH(1)
+		w := cost.NewWhatIf(cost.NewModel(s))
+		fuzzState.env = advisor.NewEnv(s, w)
+		clean := &workload.Workload{}
+		cleanCols := map[string]bool{}
+		for i, q := range workload.GenerateNormal(s, workload.TPCHTemplates(), 12, rand.New(rand.NewSource(13))).Queries {
+			clean.Add(q, float64(10*(i+1)))
+			if col, _, ok := qgen.OptimalSingleColumn(w, q); ok {
+				cleanCols[col] = true
+			}
+		}
+		// Contaminate with differently-parameterized strangers at low
+		// frequency, the shape an injection arrives in.
+		other := workload.GenerateNormal(s, workload.TPCHTemplates(), 5, rand.New(rand.NewSource(977)))
+		batch := clean
+		for i, q := range other.Queries {
+			batch.Add(q, float64(i+1))
+		}
+		fuzzState.batch = batch
+		fuzzState.stub = &stubAdvisor{whatIf: w, budget: len(cleanCols)}
+		fuzzState.stub.Train(clean)
+	})
+}
+
+// FuzzTrimSubsetStable fuzzes the order-insensitivity contract: however the
+// incoming batch is permuted, every variant must select the identical kept
+// query set, with identical reasons for the drops (the canonical-order rule
+// DESIGN.md §13 pins).
+func FuzzTrimSubsetStable(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(42), int64(1))
+	f.Add(int64(-7), int64(2))
+	f.Add(int64(1<<40), int64(13))
+
+	f.Fuzz(func(t *testing.T, permSeed, cfgSeed int64) {
+		fuzzSetup()
+		batch := fuzzState.batch
+		perm := rand.New(rand.NewSource(permSeed)).Perm(batch.Len())
+		shuffled := &workload.Workload{}
+		for _, i := range perm {
+			shuffled.Add(batch.Queries[i], batch.Freqs[i])
+		}
+
+		for _, v := range []Variant{TRIM, ATRIM, IRL} {
+			scr := New(fuzzState.stub, fuzzState.env.WhatIf, Config{Variant: v, Epsilon: 0.3, Seed: cfgSeed})
+			kept1, rep1 := scr.Screen(batch)
+			kept2, rep2 := scr.Screen(shuffled)
+			if keyOf(kept1) != keyOf(kept2) {
+				t.Fatalf("%s: permuted batch kept a different set\n  orig: %s\n  perm: %s", v, keyOf(kept1), keyOf(kept2))
+			}
+			if len(rep1.Reasons) != len(rep2.Reasons) {
+				t.Fatalf("%s: reason sets differ: %v vs %v", v, rep1.Reasons, rep2.Reasons)
+			}
+			for q, why := range rep1.Reasons {
+				if rep2.Reasons[q] != why {
+					t.Fatalf("%s: reason for %q differs: %q vs %q", v, q, why, rep2.Reasons[q])
+				}
+			}
+		}
+	})
+}
+
+// keyOf renders a workload as its sorted query texts, the order-free identity
+// the fuzz target compares.
+func keyOf(w *workload.Workload) string {
+	texts := make([]string, w.Len())
+	for i, q := range w.Queries {
+		texts[i] = q.String()
+	}
+	sort.Strings(texts)
+	out := ""
+	for _, s := range texts {
+		out += s + "\n"
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package trim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/heuristic"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// TestTrimAbstainsWhenPremiseFails pins the realizability probe: a heuristic
+// with a 4-index budget cannot serve an 18-template workload (two queries'
+// columns never make the cut even when trained on directly), so per-query
+// regret on a clean batch looks exactly like poison. With the trusted
+// reference wired in, the screener must detect the capacity shortage on the
+// deployed estimator and abstain — zero drops for every variant. Without the
+// reference this same scenario drops clean queries, which is what the probe
+// exists to prevent.
+func TestTrimAbstainsWhenPremiseFails(t *testing.T) {
+	s := catalog.TPCH(1)
+	wi := cost.NewWhatIf(cost.NewModel(s))
+	env := advisor.NewEnv(s, wi)
+	w := workload.GenerateNormal(s, workload.TPCHTemplates(), 18, rand.New(rand.NewSource(1)))
+	h := heuristic.New(env, 4, true)
+	h.Train(w)
+
+	for _, v := range []Variant{TRIM, ATRIM, IRL} {
+		scr := New(h, wi, Config{Variant: v, Seed: 12345, Reference: w})
+		kept, rep := scr.Screen(w)
+		if rep.Dropped != 0 {
+			t.Errorf("%s: dropped %d clean queries despite a budget-starved reference: %s", v, rep.Dropped, rep)
+		}
+		if kept.Len() != w.Len() {
+			t.Errorf("%s: kept %d of %d", v, kept.Len(), w.Len())
+		}
+	}
+
+	// Control: the unreferenced screener condemns budget-starved clean
+	// queries here — the landscape genuinely is indistinguishable from
+	// poison without the probe. If this ever stops holding, the scenario no
+	// longer exercises the probe and needs rebuilding.
+	scr := New(h, wi, Config{Seed: 12345})
+	if _, rep := scr.Screen(w); rep.Dropped == 0 {
+		t.Fatalf("control: expected the unreferenced screener to misfire on this scenario")
+	}
+}

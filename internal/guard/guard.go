@@ -1,5 +1,5 @@
 // Package guard makes advisor updates transactional: every Retrain becomes
-// snapshot → sanitize → update → canary evaluation → commit-or-rollback
+// snapshot → screen → update → canary evaluation → commit-or-rollback
 // (DESIGN.md §9). The canary is a held-out trusted workload costed on the
 // clean oracle; an update whose canary cost regresses past a configurable
 // budget is rolled back byte-exactly via advisor.Snapshotter, and the batch
@@ -30,11 +30,12 @@ import (
 
 // Process-wide guard counters (ISSUE: obs instrumentation).
 var (
-	commitsTotal     = obs.GetCounter("guard_commits_total")
-	rollbacksTotal   = obs.GetCounter("guard_rollbacks_total")
-	quarantinedTotal = obs.GetCounter("guard_quarantined_queries_total")
-	tripsTotal       = obs.GetCounter("guard_trips_total")
-	frozenTotal      = obs.GetCounter("guard_frozen_updates_total")
+	commitsTotal        = obs.GetCounter("guard_commits_total")
+	rollbacksTotal      = obs.GetCounter("guard_rollbacks_total")
+	quarantinedTotal    = obs.GetCounter("guard_quarantined_queries_total")
+	tripsTotal          = obs.GetCounter("guard_trips_total")
+	frozenTotal         = obs.GetCounter("guard_frozen_updates_total")
+	partialScreensTotal = obs.GetCounter("guard_partial_screens_total")
 )
 
 // State is the guard's update-admission state.
@@ -74,7 +75,7 @@ const (
 	RolledBack
 	// Frozen: the guard was Open; the update was rejected outright.
 	Frozen
-	// Screened: the sanitizer dropped the entire batch; nothing to train on.
+	// Screened: the screener dropped the entire batch; nothing to train on.
 	Screened
 	// Replayed: the attempt predates the restored checkpoint and was skipped
 	// (its effect is already part of the restored state).
@@ -102,14 +103,15 @@ func (o Outcome) String() string {
 // Stats are the trainer's cumulative counters. They are part of the
 // persisted checkpoint, so a resumed run continues them exactly.
 type Stats struct {
-	Attempts     uint64  // Retrain attempts seen (excluding replayed ones)
-	Commits      uint64  // updates that passed the canary gate
-	Rollbacks    uint64  // updates undone by the canary gate
-	Frozen       uint64  // updates rejected while the guard was Open
-	Screened     uint64  // batches fully dropped by the sanitizer
-	Quarantined  uint64  // queries quarantined (bounded buffer may evict)
-	Trips        uint64  // Closed/HalfOpen → Open transitions
-	LastCanaryAD float64 // canary regression measured by the last gated update
+	Attempts       uint64  // Retrain attempts seen (excluding replayed ones)
+	Commits        uint64  // updates that passed the canary gate
+	Rollbacks      uint64  // updates undone by the canary gate
+	Frozen         uint64  // updates rejected while the guard was Open
+	Screened       uint64  // batches fully dropped by the screener
+	PartialScreens uint64  // batches the screener thinned but did not empty
+	Quarantined    uint64  // queries quarantined (bounded buffer may evict)
+	Trips          uint64  // Closed/HalfOpen → Open transitions
+	LastCanaryAD   float64 // canary regression measured by the last gated update
 }
 
 // Config parameterizes a Trainer.
@@ -138,8 +140,15 @@ type Config struct {
 	Canary *workload.Workload
 	Eval   *cost.WhatIf
 
-	// Sanitizer, when non-nil, screens each batch before the update; dropped
-	// queries are quarantined with the sanitizer's per-query reasons.
+	// Screener, when non-nil, screens each batch before the update; dropped
+	// queries are quarantined with the screener's per-query reasons. Any
+	// defense.Screener plugs in: the sanitizer, a defense/trim robust
+	// retrainer, or a stacked defense.Chain.
+	Screener defense.Screener
+
+	// Sanitizer is the pre-Screener form of the same knob; when Screener is
+	// nil a non-nil Sanitizer is adopted as the screener, so existing
+	// configurations keep working.
 	Sanitizer *defense.Sanitizer
 
 	// ModelDir, when non-empty, persists the last committed snapshot (plus
@@ -173,6 +182,7 @@ type Trainer struct {
 	quarantine *Quarantine
 	stats      Stats
 	lastOut    Outcome
+	lastReport *defense.Report // screening report of the last live attempt
 }
 
 // NewTrainer wraps inner. inner must implement advisor.Snapshotter, and the
@@ -197,6 +207,9 @@ func NewTrainer(inner advisor.Advisor, cfg Config) (*Trainer, error) {
 	}
 	if cfg.QuarantineCap <= 0 {
 		cfg.QuarantineCap = 256
+	}
+	if cfg.Screener == nil && cfg.Sanitizer != nil {
+		cfg.Screener = cfg.Sanitizer
 	}
 	return &Trainer{
 		inner:      inner,
@@ -231,6 +244,20 @@ func (t *Trainer) LastOutcome() Outcome { return t.lastOut }
 
 // Quarantine returns the quarantine buffer.
 func (t *Trainer) Quarantine() *Quarantine { return t.quarantine }
+
+// ScreenStrategy names the configured screener ("none" without one), so the
+// serving daemon's /v1/status can report which defense guards the update path.
+func (t *Trainer) ScreenStrategy() string {
+	if t.cfg.Screener == nil {
+		return "none"
+	}
+	return t.cfg.Screener.Name()
+}
+
+// LastScreenReport returns the screening report of the most recent live
+// Retrain attempt, or nil when no screener ran (no screener configured, a
+// frozen update, or a replayed attempt).
+func (t *Trainer) LastScreenReport() *defense.Report { return t.lastReport }
 
 // canaryCost evaluates the wrapped advisor on the canary workload. It
 // consumes advisor RNG draws (Recommend is stochastic for trial-based
@@ -274,7 +301,7 @@ func (t *Trainer) Retrain(w *workload.Workload) {
 
 // RetrainCtx is Retrain with trace correlation: when ctx carries a
 // request-scoped span (obs.SpanFrom), the transaction records a
-// "guard:retrain" child whose sub-spans mirror the phases — sanitize,
+// "guard:retrain" child whose sub-spans mirror the phases — screen,
 // snapshot, update, canary, commit-or-rollback — annotated with the batch
 // size, canary regression, verdict, and resulting guard state. Untraced
 // callers pay one nil check.
@@ -282,13 +309,13 @@ func (t *Trainer) RetrainCtx(ctx context.Context, w *workload.Workload) {
 	sp := obs.SpanFrom(ctx).StartChild("guard:retrain")
 	defer sp.End()
 	sp.Annotate("batch_queries", strconv.Itoa(w.Len()))
-	t.retrain(sp, w)
+	t.retrain(ctx, sp, w)
 	sp.Annotate("outcome", t.lastOut.String())
 	sp.Annotate("guard_state", t.state.String())
 }
 
 // retrain is the transaction body; sp may be nil (untraced).
-func (t *Trainer) retrain(sp *obs.TSpan, w *workload.Workload) {
+func (t *Trainer) retrain(ctx context.Context, sp *obs.TSpan, w *workload.Workload) {
 	t.calls++
 	if t.calls <= t.resumeSkip {
 		// This attempt is part of the restored checkpoint's history: its
@@ -298,6 +325,7 @@ func (t *Trainer) retrain(sp *obs.TSpan, w *workload.Workload) {
 		return
 	}
 	t.stats.Attempts++
+	t.lastReport = nil
 
 	// Guard-open: reject the update outright, quarantining the batch.
 	if t.state == Open {
@@ -321,9 +349,11 @@ func (t *Trainer) retrain(sp *obs.TSpan, w *workload.Workload) {
 	}
 
 	clean := w
-	if t.cfg.Sanitizer != nil {
-		san := sp.StartChild("guard:sanitize")
-		screened, report := t.cfg.Sanitizer.Screen(w)
+	if t.cfg.Screener != nil {
+		scr := sp.StartChild("guard:screen")
+		scr.Annotate("strategy", t.cfg.Screener.Name())
+		screened, report := defense.ScreenWith(obs.ContextWithSpan(ctx, scr), t.cfg.Screener, w)
+		t.lastReport = report
 		// report.Reasons is a map; quarantine in the batch's query order so
 		// the buffer's contents are deterministic.
 		for _, q := range w.Queries {
@@ -332,13 +362,17 @@ func (t *Trainer) retrain(sp *obs.TSpan, w *workload.Workload) {
 			}
 		}
 		clean = screened
-		san.Annotate("dropped", strconv.Itoa(w.Len()-clean.Len()))
-		san.Annotate("kept", strconv.Itoa(clean.Len()))
-		san.End()
+		scr.Annotate("dropped", strconv.Itoa(report.Dropped))
+		scr.Annotate("kept", strconv.Itoa(clean.Len()))
+		scr.End()
 		if clean.Len() == 0 {
 			t.stats.Screened++
 			t.lastOut = Screened
 			return
+		}
+		if report.Dropped > 0 {
+			t.stats.PartialScreens++
+			partialScreensTotal.Inc()
 		}
 	}
 

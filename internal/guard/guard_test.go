@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/advisor"
+	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/defense"
 	"repro/internal/snap"
 	"repro/internal/sql"
 	"repro/internal/workload"
@@ -233,5 +235,131 @@ func (plainAdvisor) Recommend(*workload.Workload) []cost.Index { return nil }
 func TestGuardRequiresCanary(t *testing.T) {
 	if _, err := NewTrainer(&stubAdvisor{}, Config{}); err == nil {
 		t.Fatal("config without canary accepted")
+	}
+}
+
+// fakeScreener drops the first `drop` queries of every batch, prefixing
+// reasons with its name — a controllable defense.Screener for the guard's
+// screen stage.
+type fakeScreener struct {
+	name string
+	drop int
+}
+
+func (f *fakeScreener) Name() string { return f.name }
+
+func (f *fakeScreener) Screen(w *workload.Workload) (*workload.Workload, *defense.Report) {
+	rep := &defense.Report{Strategy: f.name, Reasons: map[string]string{}}
+	kept := &workload.Workload{}
+	for i, q := range w.Queries {
+		if i < f.drop {
+			rep.Dropped++
+			rep.Reasons[q.String()] = f.name + ":first"
+			continue
+		}
+		kept.Add(q, w.Freqs[i])
+		rep.Kept++
+	}
+	return kept, rep
+}
+
+func TestGuardScreenerPartialAndFull(t *testing.T) {
+	scr := &fakeScreener{name: "fake", drop: 2}
+	tr, stub := newStubTrainer(t, script(100, 101, 101), Config{Budget: 0.02, Screener: scr})
+	tr.Train(batch(t, 1))
+
+	if got := tr.ScreenStrategy(); got != "fake" {
+		t.Fatalf("ScreenStrategy = %q", got)
+	}
+
+	// Partial screen: 5 in, 2 dropped, 3 retrained, update commits.
+	tr.Retrain(batch(t, 5))
+	if tr.LastOutcome() != Committed {
+		t.Fatalf("outcome = %v", tr.LastOutcome())
+	}
+	if stub.param != 1+3 {
+		t.Fatalf("param = %v: screened batch should retrain 3 queries", stub.param)
+	}
+	st := tr.Stats()
+	if st.PartialScreens != 1 || st.Screened != 0 {
+		t.Fatalf("stats = %+v, want one partial screen", st)
+	}
+	rep := tr.LastScreenReport()
+	if rep == nil || rep.Dropped != 2 || rep.Strategy != "fake" {
+		t.Fatalf("LastScreenReport = %+v", rep)
+	}
+	// Dropped queries are quarantined with the screener's reasons.
+	if got := tr.Quarantine().Len(); got != 2 {
+		t.Fatalf("quarantined %d, want 2", got)
+	}
+	for _, e := range tr.Quarantine().Entries() {
+		if e.Reason != "fake:first" {
+			t.Fatalf("reason = %q", e.Reason)
+		}
+	}
+
+	// Full screen: every query dropped, the update is skipped entirely.
+	scr.drop = 100
+	tr.Retrain(batch(t, 4))
+	if tr.LastOutcome() != Screened {
+		t.Fatalf("outcome = %v, want screened", tr.LastOutcome())
+	}
+	st = tr.Stats()
+	if st.Screened != 1 || st.PartialScreens != 1 {
+		t.Fatalf("stats = %+v, want full screen counted separately", st)
+	}
+	if stub.param != 4 {
+		t.Fatalf("param = %v: fully-screened batch must not retrain", stub.param)
+	}
+}
+
+func TestGuardSanitizerConfigCompat(t *testing.T) {
+	// The pre-Screener Sanitizer field still routes into the screen stage.
+	ref := &workload.Workload{}
+	for i := 0; i < 3; i++ {
+		q, err := sql.Parse(fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Add(q, 1)
+	}
+	san := defense.NewSanitizer(cost.NewWhatIf(cost.NewModel(catalog.TPCH(1))), ref)
+	tr, _ := newStubTrainer(t, script(100, 101), Config{Budget: 0.02, Sanitizer: san})
+	if got := tr.ScreenStrategy(); got != "sanitizer" {
+		t.Fatalf("ScreenStrategy = %q, want sanitizer via compat shim", got)
+	}
+	tr2, _ := newStubTrainer(t, script(100, 101), Config{Budget: 0.02})
+	if got := tr2.ScreenStrategy(); got != "none" {
+		t.Fatalf("ScreenStrategy = %q, want none", got)
+	}
+}
+
+func TestGuardPersistCarriesPartialScreens(t *testing.T) {
+	dir := t.TempDir()
+	scr := &fakeScreener{name: "fake", drop: 1}
+	stub := &stubAdvisor{}
+	tr, err := NewTrainer(stub, Config{Budget: 0.05, ModelDir: dir, Screener: scr, CanaryCost: stateCanary(stub)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Train(batch(t, 1))
+	tr.Retrain(batch(t, 3))
+	if st := tr.Stats(); st.PartialScreens != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := tr.Persist(); err != nil {
+		t.Fatal(err)
+	}
+
+	stub2 := &stubAdvisor{}
+	tr2, err := NewTrainer(stub2, Config{Budget: 0.05, ModelDir: dir, CanaryCost: stateCanary(stub2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr2.TryRestore(); err != nil || !ok {
+		t.Fatalf("TryRestore = %v, %v", ok, err)
+	}
+	if st := tr2.Stats(); st.PartialScreens != 1 {
+		t.Fatalf("restored stats = %+v, want PartialScreens carried", st)
 	}
 }

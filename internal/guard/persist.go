@@ -88,6 +88,7 @@ func (t *Trainer) persist() error {
 	e.Uint64(t.stats.Rollbacks)
 	e.Uint64(t.stats.Frozen)
 	e.Uint64(t.stats.Screened)
+	e.Uint64(t.stats.PartialScreens)
 	e.Uint64(t.stats.Quarantined)
 	e.Uint64(t.stats.Trips)
 	e.Float64(t.stats.LastCanaryAD)
@@ -156,6 +157,7 @@ func (t *Trainer) TryRestore() (bool, error) {
 	st.Rollbacks = dec.Uint64()
 	st.Frozen = dec.Uint64()
 	st.Screened = dec.Uint64()
+	st.PartialScreens = dec.Uint64()
 	st.Quarantined = dec.Uint64()
 	st.Trips = dec.Uint64()
 	st.LastCanaryAD = dec.Float64()

@@ -222,6 +222,8 @@ type UpdateResponse struct {
 	GuardState       string  `json:"guard_state"`
 	ModelVersion     uint64  `json:"model_version"`
 	Quarantined      uint64  `json:"quarantined"`
+	ScreenStrategy   string  `json:"screen_strategy,omitempty"`
+	ScreenDropped    int     `json:"screen_dropped"`
 	TraceID          string  `json:"trace_id"`
 }
 
@@ -246,6 +248,7 @@ type StatusResponse struct {
 	ModelVersion    uint64      `json:"model_version"`
 	GuardState      string      `json:"guard_state"`
 	GuardStats      guard.Stats `json:"guard_stats"`
+	ScreenStrategy  string      `json:"screen_strategy"`
 	AdmissionInUse  int         `json:"admission_in_use"`
 	AdmissionCap    int         `json:"admission_cap"`
 	CacheEntries    int         `json:"cache_entries"`
@@ -270,12 +273,13 @@ type guardView struct {
 }
 
 type updateResult struct {
-	outcome     guard.Outcome
-	regression  float64
-	state       guard.State
-	version     uint64
-	quarantined uint64
-	err         error
+	outcome       guard.Outcome
+	regression    float64
+	state         guard.State
+	version       uint64
+	quarantined   uint64
+	screenDropped int
+	err           error
 }
 
 type updateJob struct {
@@ -530,6 +534,9 @@ func (s *Server) runUpdate(job *updateJob) {
 		quarantined: st.Quarantined,
 		version:     s.model.Version(),
 	}
+	if rep := t.LastScreenReport(); rep != nil {
+		res.screenDropped = rep.Dropped
+	}
 	if out == guard.Committed {
 		blob, err := t.Inner().(advisor.Snapshotter).Snapshot()
 		if err != nil {
@@ -552,7 +559,8 @@ func (s *Server) runUpdate(job *updateJob) {
 		s.logger.Warn(job.ctx, "update frozen: guard open", "guard_state", res.state.String())
 	case guard.Screened:
 		tr.MarkAnomaly("quarantine")
-		s.logger.Warn(job.ctx, "update batch fully screened by sanitizer")
+		s.logger.Warn(job.ctx, "update batch fully screened",
+			"strategy", t.ScreenStrategy())
 	}
 	if st.Quarantined > pre.Quarantined {
 		tr.MarkAnomaly("quarantine")
@@ -836,6 +844,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			GuardState:       res.state.String(),
 			ModelVersion:     res.version,
 			Quarantined:      res.quarantined,
+			ScreenStrategy:   s.cfg.Trainer.ScreenStrategy(),
+			ScreenDropped:    res.screenDropped,
 			TraceID:          tr.ID(),
 		})
 	case <-ctx.Done():
@@ -876,6 +886,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		ModelVersion:    s.model.Version(),
 		GuardState:      gv.state,
 		GuardStats:      gv.stats,
+		ScreenStrategy:  s.cfg.Trainer.ScreenStrategy(),
 		AdmissionInUse:  s.admission.InUse(),
 		AdmissionCap:    s.admission.Cap(),
 		CacheEntries:    s.cache.len(),

@@ -18,6 +18,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/defense"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	olog "repro/internal/obs/log"
@@ -570,4 +571,68 @@ func TestDegradationLadder(t *testing.T) {
 
 	gate <- struct{}{} // release the parked request
 	<-parked
+}
+
+// dropFirstScreener drops the first query of every multi-query batch — a
+// minimal screener to observe the screen fields on the update/status wire.
+type dropFirstScreener struct{}
+
+func (dropFirstScreener) Name() string { return "dropfirst" }
+
+func (dropFirstScreener) Screen(w *workload.Workload) (*workload.Workload, *defense.Report) {
+	rep := &defense.Report{Strategy: "dropfirst", Reasons: map[string]string{}}
+	kept := &workload.Workload{}
+	for i, q := range w.Queries {
+		if i == 0 && w.Len() > 1 {
+			rep.Dropped++
+			rep.Reasons[q.String()] = "dropfirst:first"
+			continue
+		}
+		kept.Add(q, w.Freqs[i])
+		rep.Kept++
+	}
+	return kept, rep
+}
+
+func TestUpdateAndStatusReportScreenStrategy(t *testing.T) {
+	env := newTestServer(t, nil, nil, func(gc *guard.Config) { gc.Screener = dropFirstScreener{} })
+
+	var st StatusResponse
+	if code := getJSON(t, env.ts.URL+"/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.ScreenStrategy != "dropfirst" {
+		t.Fatalf("status screen_strategy = %q", st.ScreenStrategy)
+	}
+
+	two := `{"queries":["SELECT COUNT(*) FROM orders","SELECT l_partkey FROM lineitem WHERE l_quantity > 30"]}`
+	code, body := postJSON(t, env.ts.URL+"/v1/update", two)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d, body %s", code, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.ScreenStrategy != "dropfirst" || ur.ScreenDropped != 1 {
+		t.Fatalf("update = %+v, want screen_strategy=dropfirst screen_dropped=1", ur)
+	}
+	if ur.Outcome != "committed" {
+		t.Fatalf("outcome %s", ur.Outcome)
+	}
+
+	// The dropped query lands in quarantine with the screener's reason.
+	var qr QuarantineResponse
+	if code := getJSON(t, env.ts.URL+"/v1/quarantine", &qr); code != http.StatusOK {
+		t.Fatalf("quarantine status %d", code)
+	}
+	found := false
+	for _, e := range qr.Entries {
+		if strings.Contains(e.Reason, "dropfirst:first") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quarantine entries = %+v, want a dropfirst:first reason", qr.Entries)
+	}
 }
