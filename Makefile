@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos guard defense fuzz bench bench-compare fmt vet lint vuln smoke serve obs
+.PHONY: all build test race chaos guard defense attackzoo fuzz bench bench-compare fmt vet lint vuln smoke serve obs
 
 all: fmt vet build test
 
@@ -42,6 +42,18 @@ defense:
 	$(GO) test -race ./internal/defense/... ./internal/guard/...
 	$(GO) test -race ./internal/experiments -run 'Defense'
 
+# attackzoo runs the attack-zoo suite under -race — the injector contract
+# tests (every registry member: resolvable SQL, size bound, fixed-seed
+# determinism), the adaptive-attacker feedback loop, and the attackzoo
+# experiment drivers (workers-width golden + journal resume) — then a
+# fast-scale grid through the real binary with one injector per attack
+# family (DESIGN.md §14).
+attackzoo:
+	$(GO) test -race ./internal/pipa/... -run 'Injector|OODColumn|Adapt'
+	$(GO) test -race ./internal/experiments -run 'AttackZoo'
+	$(GO) run -race ./cmd/pipa-bench -exp attackzoo -advisors Heuristic \
+		-injectors FSM,PIPA,BAD+SUB,R-OOD,ADAPT -workers 4
+
 # serve runs the serving-daemon suite under -race: admission control, the
 # degradation ladder, hot model swap, live rollback under load, the 2×
 # capacity soak, and kill-and-resume (DESIGN.md §10).
@@ -69,6 +81,7 @@ fuzz:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snap -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/defense/trim -run '^$$' -fuzz FuzzTrimSubsetStable -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pipa -run '^$$' -fuzz FuzzInjectorBuild -fuzztime $(FUZZTIME)
 
 # lint and vuln expect the tools on PATH (CI installs pinned versions; see
 # .github/workflows/ci.yml).

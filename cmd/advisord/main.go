@@ -11,6 +11,12 @@
 //	advisord -addr :8080 -benchmark tpch -advisor DQN-b -model-dir /var/lib/advisord
 //	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/v1/recommend -d '{"queries":["SELECT COUNT(*) FROM lineitem WHERE l_partkey = 42"]}'
+//	curl -s -X POST localhost:8080/v1/update -d '{"queries":["SELECT ..."],"source":"nightly-etl"}'
+//
+// The optional "source" field on /v1/update stamps any quarantined queries
+// from that batch with the submitting pipeline's name, so /v1/quarantine and
+// the forensics flight recorder attribute drops to their origin (the attack
+// zoo uses the same field to attribute drops per injector; DESIGN.md §14).
 package main
 
 import (

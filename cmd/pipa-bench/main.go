@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -36,7 +37,7 @@ import (
 var experimentIDs = []string{
 	"fig1", "fig7", "table1", "fig8", "fig9", "table2",
 	"fig10", "fig11", "fig12", "table3", "faultsweep", "guardsweep",
-	"defensesweep", "all",
+	"defensesweep", "attackzoo", "all",
 }
 
 func validExp(id string) bool {
@@ -57,6 +58,9 @@ func main() {
 	advisors := flag.String("advisors", strings.Join(registry.PaperAdvisors, ","), "comma-separated advisor list for fig7/table1")
 	guardBudget := flag.Float64("guard-budget", 0.02, "canary regression budget for the guardsweep's guarded victim")
 	modelDir := flag.String("model-dir", "", "persist guarded trainers' last committed snapshots under this directory (guardsweep resumes mid-cell from it)")
+	injectors := flag.String("injectors", "", "comma-separated attack-zoo injector list for -exp attackzoo (default: the full registry)")
+	attack := flag.String("attack", "", "attack-zoo injector the guardsweep/faultsweep ladders run instead of PIPA")
+	indexBudget := flag.Int("index-budget", 0, "override the advisors' index budget B (0 = the scale's default; the paper uses 4)")
 	faults := flag.Float64("faults", 0, "fault-rate ceiling for the faultsweep ladder (0 = default ladder for -exp faultsweep, skip it under -exp all)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for every fault decision; fixed seed = byte-identical sweeps at any -workers")
 	checkpoint := flag.String("checkpoint", "", "journal completed experiment cells to this file and resume from it on restart")
@@ -91,6 +95,30 @@ func main() {
 			olog.Error(nil, "unknown advisor", "advisor", advisorList[i], "want", strings.Join(registry.Names(), ", "))
 			os.Exit(2)
 		}
+	}
+	zooNames := experiments.AttackZooInjectors()
+	validInjector := func(name string) bool {
+		for _, n := range zooNames {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	var injectorList []string
+	if *injectors != "" {
+		injectorList = strings.Split(*injectors, ",")
+		for i, name := range injectorList {
+			injectorList[i] = strings.TrimSpace(name)
+			if !validInjector(injectorList[i]) {
+				olog.Error(nil, "unknown injector", "injector", injectorList[i], "want", strings.Join(zooNames, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+	if *attack != "" && !validInjector(*attack) {
+		olog.Error(nil, "unknown attack injector", "attack", *attack, "want", strings.Join(zooNames, ", "))
+		os.Exit(2)
 	}
 
 	if *report != "" {
@@ -131,6 +159,10 @@ func main() {
 	setup.FaultSeed = *faultSeed
 	setup.GuardBudget = *guardBudget
 	setup.ModelDir = *modelDir
+	setup.Attack = *attack
+	if *indexBudget > 0 {
+		setup.AdvCfg.Budget = *indexBudget
+	}
 
 	if *checkpoint != "" {
 		j, err := experiments.OpenJournal(*checkpoint)
@@ -230,6 +262,18 @@ func main() {
 			})
 		}
 	}
+	// The attack zoo grades every registered attack family (paper line-up,
+	// openGauss ablations, OOD pair, adaptive guard-aware) against every
+	// defense arm; it runs only when asked for directly — the grid is 6x the
+	// defense sweep's injector axis.
+	if *exp == "attackzoo" {
+		for _, name := range advisorList {
+			name := name
+			run("attackzoo:"+name, func() (fmt.Stringer, error) {
+				return experiments.RunAttackZoo(ctx, setup, name, nil, injectorList)
+			})
+		}
+	}
 	if want("table3") {
 		n := 200
 		if *full {
@@ -238,7 +282,14 @@ func main() {
 		run("table3", func() (fmt.Stringer, error) { return experiments.RunGeneratorQuality(ctx, setup, n) })
 	}
 
-	printCacheStats(setup)
+	// The attack-zoo results contract is byte-identical stdout at any -workers
+	// width and across kill-and-resume; the cache telemetry depends on both
+	// (fill order, journal skips), so it goes to stderr for that experiment.
+	statsOut := io.Writer(os.Stdout)
+	if *exp == "attackzoo" {
+		statsOut = os.Stderr
+	}
+	printCacheStats(setup, statsOut)
 
 	if *report != "" {
 		labels := map[string]string{
@@ -257,14 +308,14 @@ func main() {
 // printCacheStats summarizes the what-if cache and plan-decision telemetry at
 // the end of every run; the cache hit rate is the single best indicator of
 // how much the memoization layer is saving.
-func printCacheStats(setup *experiments.Setup) {
+func printCacheStats(setup *experiments.Setup, out io.Writer) {
 	st := setup.WhatIf.CacheStats()
-	fmt.Printf("\nwhat-if cache: %d calls, %d hits (%.1f%% hit rate), %d entries",
+	fmt.Fprintf(out, "\nwhat-if cache: %d calls, %d hits (%.1f%% hit rate), %d entries",
 		st.Calls, st.Hits, 100*st.HitRate(), st.Entries)
 	if st.Evictions > 0 {
-		fmt.Printf(", %d evictions", st.Evictions)
+		fmt.Fprintf(out, ", %d evictions", st.Evictions)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	counters := obs.Default.Metrics.Snapshot().Counters
 	var keys []string
@@ -280,6 +331,6 @@ func printCacheStats(setup *experiments.Setup) {
 		parts = append(parts, fmt.Sprintf("%s %d", kind, counters[k]))
 	}
 	if len(parts) > 0 {
-		fmt.Printf("plan access paths: %s\n", strings.Join(parts, ", "))
+		fmt.Fprintf(out, "plan access paths: %s\n", strings.Join(parts, ", "))
 	}
 }

@@ -241,9 +241,14 @@ func (s *Screener) ScreenCtx(ctx context.Context, incoming *workload.Workload) (
 	// Realizability probe: before trusting any loss, check that the deployed
 	// estimator serves the trusted reference within the ceiling. If it cannot
 	// serve traffic known to be clean, high regret on the incoming batch is a
-	// statement about the estimator's capacity, not about poison.
+	// statement about the estimator's capacity, not about poison. When the
+	// probe passes, refMax is kept as a calibration point: the reference just
+	// demonstrated that clean traffic legitimately reaches that loss on this
+	// estimator, so the drop threshold below is floored at refMax + AbsMargin
+	// — a query no worse than observed clean tail traffic is never dropped.
+	refMax := -1.0
 	if ref := s.cfg.Reference; ref != nil && ref.Len() > 0 {
-		refMax := maxLoss(newFitter(s, ref).currentLosses())
+		refMax = maxLoss(newFitter(s, ref).currentLosses())
 		if err := s.adv.Restore(pre); err != nil {
 			// Recommend can advance a trial-based advisor's RNG stream; the
 			// probe must leave no trace either way.
@@ -255,6 +260,7 @@ func (s *Screener) ScreenCtx(ctx context.Context, incoming *workload.Workload) (
 			keptTotal.Add(int64(n))
 			return incoming, report
 		}
+		sp.Annotate("reference_max_loss", fmt.Sprintf("%.3f", refMax))
 	}
 
 	// Canonical order (query text, then frequency, then arrival) makes every
@@ -278,6 +284,12 @@ func (s *Screener) ScreenCtx(ctx context.Context, incoming *workload.Workload) (
 	minKept, maxKept, meanKept := subsetLossStats(r.losses, r.subset)
 	obs.Record(obs.Name("defense_trim_loss", "variant", s.Name()), meanKept)
 	threshold := maxKept + s.cfg.RelMargin*(maxKept-minKept) + s.cfg.AbsMargin
+	if floor := refMax + s.cfg.AbsMargin; refMax >= 0 && threshold < floor {
+		// Calibrated floor: when the kept subset fits tighter than the clean
+		// reference's own tail, the fit-relative threshold would condemn loss
+		// levels the reference proved harmless.
+		threshold = floor
+	}
 
 	dropOrig := make(map[int]bool)
 	if maxKept <= s.cfg.FitCeiling {

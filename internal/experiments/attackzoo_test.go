@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// truncateJournalLines rewrites the JSONL journal keeping only its first n
+// lines, simulating a process killed mid-grid.
+func truncateJournalLines(t *testing.T, path string, n int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < n {
+		t.Fatalf("journal has %d lines, want at least %d", len(lines), n)
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:n], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// zooTestInjectors is the tiny-scale line-up: the RD reference, the tuned
+// attack, one openGauss ablation, one OOD baseline, and the adaptive
+// attacker — one representative per attack family keeps the grid small.
+var zooTestInjectors = []string{"FSM", "PIPA", "BAD+SUB", "R-OOD", "ADAPT"}
+
+func TestAttackZooWorkersGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	s := *tinySetup
+	var golden string
+	for _, workers := range []int{1, 4, 0} {
+		s.Workers = workers
+		r, err := RunAttackZoo(context.Background(), &s, "Heuristic", nil, zooTestInjectors)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			golden = string(b)
+			continue
+		}
+		if string(b) != golden {
+			t.Errorf("RunAttackZoo at workers=%d diverges from serial:\n got %s\nwant %s", workers, b, golden)
+		}
+	}
+}
+
+// TestAttackZooJournalResume checks kill-and-resume: a grid computed against
+// a journal holding a prefix of its cells must reproduce the from-scratch
+// result byte-identically, recomputing only the missing cells.
+func TestAttackZooJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	injs := []string{"FSM", "ADAPT"}
+	s := *tinySetup
+	s.Workers = 1
+
+	fresh, err := RunAttackZoo(context.Background(), &s, "Heuristic", nil, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass journals every cell; drop the journal's tail by reopening a
+	// copy truncated to half its lines, simulating a kill mid-grid.
+	path := filepath.Join(t.TempDir(), "zoo.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Journal = j
+	if _, err := RunAttackZoo(context.Background(), &s, "Heuristic", nil, injs); err != nil {
+		t.Fatal(err)
+	}
+	full := j.Len()
+	j.Close()
+	if full == 0 {
+		t.Fatal("no cells journaled")
+	}
+	truncateJournalLines(t, path, full/2)
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != full/2 {
+		t.Fatalf("truncated journal has %d cells, want %d", j2.Len(), full/2)
+	}
+	s.Journal = j2
+	resumed, err := RunAttackZoo(context.Background(), &s, "Heuristic", nil, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed grid diverges from scratch:\n got %s\nwant %s", got, want)
+	}
+	if j2.Len() != full {
+		t.Errorf("resume journaled %d cells, want %d", j2.Len(), full)
+	}
+}
+
+func TestAttackZooInjectorsMatchRegistry(t *testing.T) {
+	names := AttackZooInjectors()
+	if len(names) != 12 {
+		t.Fatalf("registry has %d injectors, want 12: %v", len(names), names)
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate injector name %s", n)
+		}
+		seen[n] = true
+	}
+	for _, must := range []string{"PIPA", "FSM", "BAD", "SUB", "BAD+SUB", "R-OOD", "N-OOD", "ADAPT"} {
+		if !seen[must] {
+			t.Errorf("registry missing %s", must)
+		}
+	}
+}

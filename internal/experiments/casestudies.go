@@ -92,7 +92,7 @@ func RunCaseStudies(ctx context.Context, s *Setup) (*CaseStudies, error) {
 	return out, nil
 }
 
-// injectorByName resolves one of the six §6.2 injectors.
+// injectorByName resolves an injector from the attack-zoo registry.
 func injectorByName(st *pipa.StressTester, name string) pipa.Injector {
 	for _, inj := range pipa.Injectors(st) {
 		if inj.Name() == name {

@@ -9,7 +9,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/guard"
 	"repro/internal/par"
-	"repro/internal/pipa"
+
 	"repro/internal/workload"
 )
 
@@ -99,7 +99,7 @@ func RunGuardSweep(ctx context.Context, s *Setup, advisorName string, rates []fl
 	cells, err := par.MapCtx(ctx, s.pool("guardsweep"), len(rates)*nRuns, func(ctx context.Context, i int) (guardCell, error) {
 		ri, run := i/nRuns, i%nRuns
 		rate := rates[ri]
-		return journaled(s, fmt.Sprintf("guardsweep/%s/rate=%g/run=%d", advisorName, rate, run), func() (guardCell, error) {
+		return journaled(s, fmt.Sprintf("guardsweep/%s%s/rate=%g/run=%d", advisorName, s.attackKeySuffix(), rate, run), func() (guardCell, error) {
 			var c guardCell
 			w := s.NormalWorkload(run)
 			canary := s.CanaryWorkload(run)
@@ -122,7 +122,7 @@ func RunGuardSweep(ctx context.Context, s *Setup, advisorName string, rates []fl
 
 			// One PIPA injection per cell, probed against the base copy; both
 			// victims then see the rate's share of the same toxic workload.
-			tw := pipa.PIPAInjector{Tester: st}.BuildInjection(ctx, base, s.PipaCfg.Na)
+			tw := injectorByName(st, s.AttackName()).BuildInjection(ctx, base, s.PipaCfg.Na)
 			toxic := workloadHead(tw, int(rate*float64(tw.Len())+0.5))
 
 			gcfg := guard.Config{Budget: s.GuardBudget, Canary: canary, Eval: s.WhatIf}

@@ -42,7 +42,7 @@ type MainResult struct {
 // configured), so a restarted run skips them byte-identically.
 func RunMainResult(ctx context.Context, s *Setup, advisors []string) (*MainResult, error) {
 	st := s.Tester()
-	injectors := pipa.Injectors(st)
+	injectors := pipa.PaperInjectors(st)
 	res := &MainResult{Setup: s.Name, RD: make(map[string]float64), Advisors: advisors}
 
 	cells := make(map[string]*MainCell)

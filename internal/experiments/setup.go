@@ -80,6 +80,31 @@ type Setup struct {
 	// Journal, when non-nil, checkpoints completed experiment cells so a
 	// cancelled grid resumes without recomputing them.
 	Journal *Journal
+
+	// Attack, when non-empty, selects which attack-zoo injector the
+	// single-attack sweeps (RunGuardSweep, the attack side of RunFaultSweep)
+	// use instead of PIPA — any name in pipa.Injectors. Sweeps run with a
+	// non-default attack journal under keys that include the injector name,
+	// so ladders for different attacks coexist in one journal.
+	Attack string
+}
+
+// AttackName returns the configured single-attack injector, defaulting to
+// the paper's PIPA.
+func (s *Setup) AttackName() string {
+	if s.Attack == "" {
+		return "PIPA"
+	}
+	return s.Attack
+}
+
+// attackKeySuffix is the journal-key fragment naming a non-default attack;
+// default-PIPA keys stay in their historical format.
+func (s *Setup) attackKeySuffix() string {
+	if s.AttackName() == "PIPA" {
+		return ""
+	}
+	return "/attack=" + s.AttackName()
 }
 
 // NewSetup prepares a benchmark instance. benchmark is "tpch" or "tpcds";

@@ -180,6 +180,7 @@ type Trainer struct {
 	resumeSkip uint64 // calls to skip after TryRestore
 
 	quarantine *Quarantine
+	provenance string // source tag stamped on quarantine entries
 	stats      Stats
 	lastOut    Outcome
 	lastReport *defense.Report // screening report of the last live attempt
@@ -475,8 +476,16 @@ func (t *Trainer) quarantineBatch(w *workload.Workload, reason string) {
 }
 
 func (t *Trainer) addQuarantine(text, reason string) {
-	if t.quarantine.Add(text, reason) {
+	if t.quarantine.AddSource(text, reason, t.provenance) {
 		t.stats.Quarantined++
 		quarantinedTotal.Inc()
 	}
 }
+
+// SetProvenance sets the source tag stamped onto quarantine entries created
+// by subsequent Retrain calls — the injector name in the attack-zoo grids,
+// the client's declared source in the serving daemon. Call it from the same
+// goroutine that calls Retrain (the trainer is not internally synchronized;
+// the daemon's single update worker and the per-cell experiment loops both
+// satisfy this).
+func (t *Trainer) SetProvenance(source string) { t.provenance = source }

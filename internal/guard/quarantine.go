@@ -6,6 +6,12 @@ import "sync"
 type Entry struct {
 	Query  string
 	Reason string
+	// Source attributes the refusal to its originating update stream — the
+	// injector name in experiments, the client-declared source tag in the
+	// serving daemon — so forensics can say which attack family a dropped
+	// query came from, not just which screen caught it. Empty when the
+	// submitter declared nothing.
+	Source string
 	// Seq is the entry's global insertion number (monotonic across
 	// evictions), so callers can tell how much history the bounded buffer
 	// has dropped.
@@ -41,6 +47,12 @@ func NewQuarantine(cap int) *Quarantine {
 // Add quarantines a query, reporting whether it created a new entry;
 // duplicates of a live entry are ignored.
 func (q *Quarantine) Add(query, reason string) bool {
+	return q.AddSource(query, reason, "")
+}
+
+// AddSource is Add with provenance: source names the update stream the
+// refused query arrived on (first refusal wins, like the reason).
+func (q *Quarantine) AddSource(query, reason, source string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.present[query] {
@@ -51,10 +63,22 @@ func (q *Quarantine) Add(query, reason string) bool {
 		q.entries = q.entries[1:]
 		q.evicted++
 	}
-	q.entries = append(q.entries, Entry{Query: query, Reason: reason, Seq: q.next})
+	q.entries = append(q.entries, Entry{Query: query, Reason: reason, Source: source, Seq: q.next})
 	q.present[query] = true
 	q.next++
 	return true
+}
+
+// BySource returns live-entry counts grouped by Source (the "" key collects
+// untagged entries).
+func (q *Quarantine) BySource() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range q.entries {
+		out[e.Source]++
+	}
+	return out
 }
 
 // Len returns the number of live entries.

@@ -1,0 +1,95 @@
+package pipa
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/advisor/registry"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/qgen"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+// fuzzZoo caches the expensive fixed parts of the fuzz fixture — schema,
+// cost model, generator and one trained victim — so each fuzz execution only
+// pays for the injector build under test.
+var fuzzZoo struct {
+	once   sync.Once
+	schema *catalog.Schema
+	whatIf *cost.WhatIf
+	gen    *qgen.IABART
+	victim advisor.Advisor
+}
+
+func fuzzZooSetup() {
+	fuzzZoo.once.Do(func() {
+		s := catalog.TPCH(1)
+		w := cost.NewWhatIf(cost.NewModel(s))
+		opts := qgen.DefaultOptions()
+		opts.CorpusSize = 40
+		opts.MaxAttempts = 4
+		fuzzZoo.schema = s
+		fuzzZoo.whatIf = w
+		fuzzZoo.gen = qgen.TrainIABART(qgen.NewFSM(s), w, nil, opts, 3)
+		cfg := advisor.DefaultConfig()
+		cfg.Trajectories = 20
+		cfg.InferTrajectories = 6
+		cfg.MeanWindow = 4
+		cfg.Hidden = 16
+		ia, err := registry.New("Heuristic", advisor.NewEnv(s, w), cfg)
+		if err != nil {
+			panic(err)
+		}
+		ia.Train(workload.GenerateNormal(s, workload.TPCHTemplates(), 10, rand.New(rand.NewSource(31))))
+		fuzzZoo.victim = ia
+	})
+}
+
+// FuzzInjectorBuild drives every registry injector across fuzzed (seed,
+// injection size) inputs and checks the injector contract invariants: no
+// panic, a non-nil workload, never more queries than requested, resolvable
+// SQL, and positive frequencies. The seeded corpus in
+// testdata/fuzz/FuzzInjectorBuild pins one case per attack family.
+func FuzzInjectorBuild(f *testing.F) {
+	f.Add(int64(1), int64(0), int64(4))
+	f.Add(int64(7), int64(5), int64(1))
+	f.Add(int64(-3), int64(6), int64(6))
+	f.Add(int64(1<<33), int64(9), int64(0))
+	f.Add(int64(99), int64(11), int64(3))
+
+	f.Fuzz(func(t *testing.T, seed, injPick, size int64) {
+		fuzzZooSetup()
+		cfg := DefaultConfig(fuzzZoo.schema)
+		cfg.Seed = seed
+		cfg.P = 2
+		cfg.Np = 4
+		cfg.Na = 6
+		cfg.AdaptProbes = 2
+		st := NewStressTester(fuzzZoo.schema, fuzzZoo.whatIf, fuzzZoo.gen, cfg)
+
+		injs := Injectors(st)
+		inj := injs[((injPick%int64(len(injs)))+int64(len(injs)))%int64(len(injs))]
+		n := int(((size % 7) + 7) % 7) // 0..6 keeps a fuzz execution sub-second
+
+		tw := inj.BuildInjection(context.Background(), fuzzZoo.victim, n)
+		if tw == nil {
+			t.Fatalf("%s returned nil workload (seed=%d n=%d)", inj.Name(), seed, n)
+		}
+		if tw.Len() > n {
+			t.Fatalf("%s produced %d queries, requested %d (seed=%d)", inj.Name(), tw.Len(), n, seed)
+		}
+		for i, q := range tw.Queries {
+			if _, err := sql.ParseResolved(q.String(), fuzzZoo.schema); err != nil {
+				t.Fatalf("%s query %d unresolvable (seed=%d): %v\n%s", inj.Name(), i, seed, err, q.String())
+			}
+			if tw.Freqs[i] <= 0 {
+				t.Fatalf("%s query %d has frequency %f", inj.Name(), i, tw.Freqs[i])
+			}
+		}
+	})
+}

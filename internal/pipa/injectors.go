@@ -149,12 +149,26 @@ func (j PIPAInjector) BuildInjection(ctx context.Context, ia advisor.Advisor, si
 	return j.Tester.InjectN(ctx, pref, size)
 }
 
-// Injectors returns the paper's six injectors over one stress tester.
-func Injectors(st *StressTester) []Injector {
+// PaperInjectors returns the paper's §6.2 line-up: the five baselines plus
+// PIPA. The main-result grids (Fig. 7) run exactly these.
+func PaperInjectors(st *StressTester) []Injector {
 	return []Injector{
 		TPInjector{st}, FSMInjector{st}, IRInjector{st},
 		ILInjector{st}, PCInjector{st}, PIPAInjector{st},
 	}
+}
+
+// Injectors returns the full attack zoo over one stress tester: the paper's
+// six (§6.2), the openGauss ablation family (BAD / SUB / BAD+SUB and the
+// R-OOD / N-OOD distribution pair, ablation.go), and the ADAPT guard-aware
+// attacker (adapt.go; oracle-less here, so it degrades to plain PIPA — the
+// attack-zoo experiment wires its verdict oracle per defense arm). This is
+// the registry injectorByName-style lookups resolve against.
+func Injectors(st *StressTester) []Injector {
+	return append(PaperInjectors(st),
+		BADInjector{st}, SUBInjector{st}, BadSubInjector{st},
+		ROODInjector{st}, NOODInjector{st}, AdaptInjector{Tester: st},
+	)
 }
 
 // sortByScore sorts columns by descending score with deterministic ties.

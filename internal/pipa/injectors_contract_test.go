@@ -1,0 +1,111 @@
+package pipa
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// The injector contract every registry member must honor (DESIGN.md §14):
+// a build yields resolvable SQL over the tester's schema, never exceeds the
+// requested injection size, produces at least one query at test scale, and
+// is bit-deterministic for a fixed seed against identically-trained victims.
+
+// buildAgainstFreshVictim trains a fresh identically-seeded victim and builds
+// one injection against it. Probing consumes the victim's internal RNG, so
+// determinism is only defined across fresh victims, not across repeated
+// builds on one instance.
+func buildAgainstFreshVictim(t *testing.T, injName string, size int) []string {
+	t.Helper()
+	st, env, nw := fastTester(t)
+	ia := fastAdvisor(t, env, "Heuristic")
+	ia.Train(nw)
+	var inj Injector
+	for _, cand := range Injectors(st) {
+		if cand.Name() == injName {
+			inj = cand
+		}
+	}
+	if inj == nil {
+		t.Fatalf("injector %s not in registry", injName)
+	}
+	tw := inj.BuildInjection(context.Background(), ia, size)
+	if tw == nil {
+		t.Fatalf("%s returned nil workload", injName)
+	}
+	texts := make([]string, 0, tw.Len())
+	for _, q := range tw.Queries {
+		texts = append(texts, q.String())
+	}
+	return texts
+}
+
+func TestInjectorContract(t *testing.T) {
+	const size = 6
+	st, _, _ := fastTester(t)
+	for _, inj := range Injectors(st) {
+		inj := inj
+		t.Run(inj.Name(), func(t *testing.T) {
+			texts := buildAgainstFreshVictim(t, inj.Name(), size)
+
+			if len(texts) == 0 {
+				t.Fatalf("%s produced an empty injection at test scale", inj.Name())
+			}
+			if len(texts) > size {
+				t.Fatalf("%s produced %d queries, requested %d", inj.Name(), len(texts), size)
+			}
+			schema := st.Schema
+			for i, text := range texts {
+				if _, err := sql.ParseResolved(text, schema); err != nil {
+					t.Fatalf("%s query %d does not resolve against the schema: %v\n%s", inj.Name(), i, err, text)
+				}
+			}
+
+			// Fixed seed, fresh identically-trained victim: byte-identical.
+			again := buildAgainstFreshVictim(t, inj.Name(), size)
+			if len(again) != len(texts) {
+				t.Fatalf("%s nondeterministic: %d then %d queries", inj.Name(), len(texts), len(again))
+			}
+			for i := range texts {
+				if texts[i] != again[i] {
+					t.Fatalf("%s nondeterministic at query %d:\n%s\nvs\n%s", inj.Name(), i, texts[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+// TestInjectorContractHonorsSize checks the size contract at a budget small
+// enough that every injector can fill it: the build must stop exactly there.
+func TestInjectorContractHonorsSize(t *testing.T) {
+	st, _, _ := fastTester(t)
+	for _, inj := range Injectors(st) {
+		texts := buildAgainstFreshVictim(t, inj.Name(), 2)
+		if len(texts) != 2 {
+			t.Errorf("%s produced %d queries for size 2", inj.Name(), len(texts))
+		}
+	}
+}
+
+func TestOODColumnSplit(t *testing.T) {
+	st, _, _ := fastTester(t)
+	in, out := st.distColumns()
+	if len(in) == 0 {
+		t.Fatal("no in-distribution columns: the benchmark templates must touch something")
+	}
+	seen := make(map[string]bool)
+	for _, c := range append(append([]string(nil), in...), out...) {
+		if seen[c] {
+			t.Fatalf("column %s in both partitions", c)
+		}
+		seen[c] = true
+	}
+	if got, want := len(in)+len(out), len(st.Schema.IndexableColumnNames()); got != want {
+		t.Fatalf("partition covers %d columns, schema has %d", got, want)
+	}
+	// The OOD fallback only triggers when templates cover every column.
+	if len(out) == 0 && len(st.oodColumns()) != len(st.Schema.IndexableColumnNames()) {
+		t.Fatal("oodColumns fallback did not return the full indexable set")
+	}
+}

@@ -13,6 +13,7 @@ package pipa
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
@@ -43,6 +44,13 @@ type Config struct {
 	// RewardTarget is the indexing-performance threshold passed to IABART.
 	RewardTarget float64
 	Seed         int64
+
+	// AdaptProbes caps how many verdict-feedback probes the ADAPT guard-aware
+	// attacker may spend per injection build (DESIGN.md §14): each probe is
+	// one trial update submitted to the defended victim's update surface
+	// (the /v1/update verdict loop). 0 disables probing, degrading ADAPT to
+	// the plain opaque-box PIPA.
+	AdaptProbes int
 }
 
 // DefaultConfig returns the paper's settings for the given schema.
@@ -59,6 +67,7 @@ func DefaultConfig(s *catalog.Schema) Config {
 		Beta:         1.0 / float64(10+n),
 		RewardTarget: 0.5,
 		Seed:         1,
+		AdaptProbes:  6,
 	}
 }
 
@@ -106,6 +115,13 @@ type StressTester struct {
 	// responses) into the Probe loop; cost-level faults live on the WhatIf
 	// oracle itself.
 	Faults *fault.Injector
+
+	// distOnce caches the benchmark-template column split the OOD injectors
+	// partition the schema by (ablation.go); the tester is shared across
+	// concurrent experiment cells, so the split is computed exactly once.
+	distOnce sync.Once
+	inDist   []string // indexable columns the templates touch sargably
+	outDist  []string // indexable columns outside the template distribution
 }
 
 // eval returns the measurement oracle: Eval if set, else WhatIf.

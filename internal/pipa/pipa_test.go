@@ -210,14 +210,25 @@ func TestHeuristicADZero(t *testing.T) {
 
 func TestInjectorNames(t *testing.T) {
 	st, _, _ := fastTester(t)
-	want := []string{"TP", "FSM", "I-R", "I-L", "P-C", "PIPA"}
-	injs := Injectors(st)
-	if len(injs) != len(want) {
-		t.Fatalf("injectors = %d, want %d", len(injs), len(want))
+	wantPaper := []string{"TP", "FSM", "I-R", "I-L", "P-C", "PIPA"}
+	paper := PaperInjectors(st)
+	if len(paper) != len(wantPaper) {
+		t.Fatalf("paper injectors = %d, want %d", len(paper), len(wantPaper))
 	}
-	for i, inj := range injs {
-		if inj.Name() != want[i] {
-			t.Errorf("injector %d = %s, want %s", i, inj.Name(), want[i])
+	for i, inj := range paper {
+		if inj.Name() != wantPaper[i] {
+			t.Errorf("paper injector %d = %s, want %s", i, inj.Name(), wantPaper[i])
+		}
+	}
+	wantZoo := append(append([]string(nil), wantPaper...),
+		"BAD", "SUB", "BAD+SUB", "R-OOD", "N-OOD", "ADAPT")
+	zoo := Injectors(st)
+	if len(zoo) != len(wantZoo) {
+		t.Fatalf("zoo injectors = %d, want %d", len(zoo), len(wantZoo))
+	}
+	for i, inj := range zoo {
+		if inj.Name() != wantZoo[i] {
+			t.Errorf("zoo injector %d = %s, want %s", i, inj.Name(), wantZoo[i])
 		}
 	}
 }

@@ -203,6 +203,11 @@ type RecommendRequest struct {
 	Queries   []string  `json:"queries"`
 	Freqs     []float64 `json:"freqs,omitempty"`
 	TimeoutMS int       `json:"timeout_ms,omitempty"`
+	// Source is an optional client-declared provenance tag for the batch
+	// (e.g. the feed or tenant it came from). It is stamped onto the trace
+	// and onto any quarantine entries the batch produces, so forensics can
+	// group refusals by originating stream.
+	Source string `json:"source,omitempty"`
 }
 
 // RecommendResponse is the /v1/recommend answer.
@@ -238,6 +243,7 @@ type QuarantineResponse struct {
 type QuarantineEntry struct {
 	Query  string `json:"query"`
 	Reason string `json:"reason"`
+	Source string `json:"source,omitempty"`
 	Seq    uint64 `json:"seq"`
 }
 
@@ -283,10 +289,11 @@ type updateResult struct {
 }
 
 type updateJob struct {
-	ctx   context.Context
-	w     *workload.Workload
-	qspan *obs.TSpan        // "serve:queue-wait", ended when the trainer dequeues
-	done  chan updateResult // buffered; the trainer loop never blocks on it
+	ctx    context.Context
+	w      *workload.Workload
+	source string            // client-declared provenance for quarantine entries
+	qspan  *obs.TSpan        // "serve:queue-wait", ended when the trainer dequeues
+	done   chan updateResult // buffered; the trainer loop never blocks on it
 }
 
 // Server is the advisor-serving daemon. Build it with NewServer, serve via
@@ -524,6 +531,9 @@ func (s *Server) runUpdate(job *updateJob) {
 	}
 	t := s.cfg.Trainer
 	pre := t.Stats()
+	// runUpdate is only ever called from the single trainer-loop goroutine,
+	// so the provenance tag cannot race with the retrain it labels.
+	t.SetProvenance(job.source)
 	t.RetrainCtx(job.ctx, job.w)
 	out := t.LastOutcome()
 	st := t.Stats()
@@ -578,27 +588,27 @@ func (s *Server) runUpdate(job *updateJob) {
 
 // parseWorkload decodes and resolves a request body into a workload. tr is
 // the request's trace; its ID rides along on error responses.
-func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request, tr *obs.Trace) (*workload.Workload, time.Duration, bool) {
+func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request, tr *obs.Trace) (*workload.Workload, time.Duration, string, bool) {
 	var req RecommendRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), tr.ID())
-		return nil, 0, false
+		return nil, 0, "", false
 	}
 	if len(req.Queries) == 0 {
 		writeErr(w, http.StatusBadRequest, "queries must be non-empty", tr.ID())
-		return nil, 0, false
+		return nil, 0, "", false
 	}
 	if req.Freqs != nil && len(req.Freqs) != len(req.Queries) {
 		writeErr(w, http.StatusBadRequest, "freqs must match queries in length", tr.ID())
-		return nil, 0, false
+		return nil, 0, "", false
 	}
 	wl := workload.New()
 	for i, src := range req.Queries {
 		q, err := sql.ParseResolved(src, s.cfg.Schema)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err), tr.ID())
-			return nil, 0, false
+			return nil, 0, "", false
 		}
 		f := 1.0
 		if req.Freqs != nil {
@@ -613,7 +623,10 @@ func (s *Server) parseWorkload(w http.ResponseWriter, r *http.Request, tr *obs.T
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	return wl, timeout, true
+	if req.Source != "" {
+		tr.Annotate("source", req.Source)
+	}
+	return wl, timeout, req.Source, true
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -637,7 +650,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "draining", tr.ID())
 		return
 	}
-	wl, timeout, ok := s.parseWorkload(w, r, tr)
+	wl, timeout, _, ok := s.parseWorkload(w, r, tr)
 	if !ok {
 		return
 	}
@@ -784,7 +797,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Traceparent", tr.Traceparent())
 	root := tr.Root()
 
-	wl, timeout, ok := s.parseWorkload(w, r, tr)
+	wl, timeout, source, ok := s.parseWorkload(w, r, tr)
 	if !ok {
 		return
 	}
@@ -797,7 +810,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	ctx = obs.ContextWithSpan(ctx, root)
-	job := &updateJob{ctx: ctx, w: wl, qspan: root.StartChild("serve:queue-wait"), done: make(chan updateResult, 1)}
+	job := &updateJob{ctx: ctx, w: wl, source: source, qspan: root.StartChild("serve:queue-wait"), done: make(chan updateResult, 1)}
 
 	// Enqueue under the read lock so Drain's barrier can wait us out; the
 	// draining check inside the lock makes "checked, then enqueued after the
@@ -868,7 +881,7 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	entries := q.Entries()
 	resp := &QuarantineResponse{Cap: q.Cap(), Evicted: q.Evicted(), Entries: make([]QuarantineEntry, 0, len(entries))}
 	for _, e := range entries {
-		resp.Entries = append(resp.Entries, QuarantineEntry{Query: e.Query, Reason: e.Reason, Seq: e.Seq})
+		resp.Entries = append(resp.Entries, QuarantineEntry{Query: e.Query, Reason: e.Reason, Source: e.Source, Seq: e.Seq})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
